@@ -1,0 +1,82 @@
+// Command compare runs one workload under two selector configurations and
+// prints their reports side by side with deltas — the quickest way to see
+// what an algorithm or parameter change buys:
+//
+//	compare -workload gcc -a net -b lei
+//	compare -workload mcf -a lei -b lei+comb -scale 2000
+//	compare -workload gcc -a lei -b lei -bbuffer 50   # parameter study
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/dynopt"
+	"repro/internal/metrics"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "gcc", "workload name")
+	selA := flag.String("a", "net", "first selector")
+	selB := flag.String("b", "lei", "second selector")
+	scale := flag.Int("scale", 0, "workload scale override")
+	aBuffer := flag.Int("abuffer", 0, "history-buffer capacity override for A")
+	bBuffer := flag.Int("bbuffer", 0, "history-buffer capacity override for B")
+	flag.Parse()
+
+	w, ok := workloads.Get(*workload)
+	if !ok {
+		fail(fmt.Errorf("unknown workload %q", *workload))
+	}
+	prog := w.Build(*scale)
+
+	run := func(name string, bufCap int) metrics.Report {
+		params := repro.Params{}
+		if bufCap > 0 {
+			params.HistoryCap = bufCap
+		}
+		sel, err := repro.NewSelector(name, params)
+		if err != nil {
+			fail(err)
+		}
+		res, err := dynopt.Run(prog, dynopt.Config{Selector: sel, VM: vm.Config{}})
+		if err != nil {
+			fail(err)
+		}
+		return res.Report
+	}
+	a := run(*selA, *aBuffer)
+	b := run(*selB, *bBuffer)
+
+	fmt.Printf("workload %q: %s (A) vs %s (B)\n\n", *workload, *selA, *selB)
+	fmt.Printf("%-22s %14s %14s %10s\n", "metric", "A", "B", "B/A")
+	row := func(name string, va, vb float64, format string) {
+		ratio := "-"
+		if va != 0 {
+			ratio = fmt.Sprintf("%.3f", vb/va)
+		}
+		fmt.Printf("%-22s "+format+" "+format+" %10s\n", name, va, vb, ratio)
+	}
+	row("hit rate %", 100*a.HitRate, 100*b.HitRate, "%14.2f")
+	row("regions", float64(a.Regions), float64(b.Regions), "%14.0f")
+	row("code expansion", float64(a.CodeExpansion), float64(b.CodeExpansion), "%14.0f")
+	row("exit stubs", float64(a.Stubs), float64(b.Stubs), "%14.0f")
+	row("est. cache bytes", float64(a.EstimatedBytes), float64(b.EstimatedBytes), "%14.0f")
+	row("transitions", float64(a.Transitions), float64(b.Transitions), "%14.0f")
+	row("transition reach B", float64(a.TransitionReach), float64(b.TransitionReach), "%14.0f")
+	row("spanned cycles %", 100*a.SpannedRatio, 100*b.SpannedRatio, "%14.1f")
+	row("executed cycles %", 100*a.ExecutedRatio, 100*b.ExecutedRatio, "%14.1f")
+	row("cover90", float64(a.CoverSet90), float64(b.CoverSet90), "%14.0f")
+	row("counters high-water", float64(a.CountersHighWater), float64(b.CountersHighWater), "%14.0f")
+	row("exit-dominated %", 100*a.ExitDominatedRatio, 100*b.ExitDominatedRatio, "%14.1f")
+	row("links", float64(a.Links), float64(b.Links), "%14.0f")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "compare:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,217 @@
+// Command regionsim runs one workload under one region-selection algorithm
+// and prints the full metric report:
+//
+//	regionsim -workload gcc -selector lei
+//	regionsim -workload fig2-loop-call -selector net -regions
+//	regionsim -workload mcf -all            # all selectors side by side
+//	regionsim -list                         # list workloads and selectors
+//
+// Use -asm FILE to simulate a program written in the textual assembly
+// syntax of internal/asm instead of a named workload.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro"
+	"repro/internal/asm"
+	"repro/internal/codecache"
+	"repro/internal/dynopt"
+	"repro/internal/isa"
+	"repro/internal/metrics"
+	"repro/internal/optimizer"
+	"repro/internal/program"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "fig2-loop-call", "workload name (see -list)")
+	selector := flag.String("selector", "net", "selector name (see -list)")
+	asmFile := flag.String("asm", "", "assemble and run this file instead of a named workload")
+	scale := flag.Int("scale", 0, "workload scale override")
+	all := flag.Bool("all", false, "run every selector on the workload")
+	regions := flag.Bool("regions", false, "dump the selected regions")
+	opt := flag.Bool("opt", false, "print the optimizer summary (paper §4.4)")
+	cacheLimit := flag.Int("cachelimit", 0, "bounded code cache size in bytes (0 = unbounded)")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of text")
+	saveCache := flag.String("savecache", "", "write the final code-cache snapshot to this file")
+	csvOut := flag.String("csv", "", "write per-region statistics as CSV to this file")
+	loadCache := flag.String("loadcache", "", "preload a code-cache snapshot (same workload) before the run")
+	record := flag.String("record", "", "record the taken-branch stream to this file while running")
+	replay := flag.String("replay", "", "drive the simulation from a recorded stream instead of the VM")
+	list := flag.Bool("list", false, "list workloads and selectors, then exit")
+	flag.Parse()
+
+	if *list {
+		names := repro.Workloads()
+		sort.Strings(names)
+		fmt.Println("workloads:")
+		for _, n := range names {
+			w, _ := repro.GetWorkload(n)
+			fmt.Printf("  %-18s %s\n", n, w.Description)
+		}
+		fmt.Println("selectors:")
+		for _, s := range repro.SelectorNames() {
+			fmt.Printf("  %s\n", s)
+		}
+		return
+	}
+
+	prog, name, err := loadProgram(*asmFile, *workload, *scale)
+	if err != nil {
+		fail(err)
+	}
+	var preload []codecache.RegionSnapshot
+	if *loadCache != "" {
+		f, err := os.Open(*loadCache)
+		if err != nil {
+			fail(err)
+		}
+		preload, err = codecache.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	}
+	sels := []string{*selector}
+	if *all {
+		sels = repro.SelectorNames()
+	}
+	for _, selName := range sels {
+		sel, err := repro.NewSelector(selName, repro.Params{})
+		if err != nil {
+			fail(err)
+		}
+		cfg := dynopt.Config{
+			Selector:        sel,
+			VM:              vm.Config{},
+			CacheLimitBytes: *cacheLimit,
+			Preload:         preload,
+		}
+		var res dynopt.Result
+		if *replay != "" {
+			data, rerr := os.ReadFile(*replay)
+			if rerr != nil {
+				fail(rerr)
+			}
+			res, err = dynopt.RunStream(prog, cfg, func(sink vm.Sink) (isa.Addr, uint64, error) {
+				tr, terr := trace.Replay(bytes.NewReader(data), prog.Len(), sink)
+				return tr.FinalPC, tr.Instrs, terr
+			})
+		} else {
+			res, err = dynopt.Run(prog, cfg)
+		}
+		if err != nil {
+			fail(err)
+		}
+		if *record != "" {
+			f, ferr := os.Create(*record)
+			if ferr != nil {
+				fail(ferr)
+			}
+			_, ferr = trace.Record(prog, vm.Config{}, f)
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+			if ferr != nil {
+				fail(ferr)
+			}
+		}
+		if *csvOut != "" {
+			f, err := os.Create(*csvOut)
+			if err != nil {
+				fail(err)
+			}
+			err = metrics.WriteRegionsCSV(f, res.Cache)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fail(err)
+			}
+		}
+		if *saveCache != "" {
+			f, err := os.Create(*saveCache)
+			if err != nil {
+				fail(err)
+			}
+			err = res.Cache.WriteSnapshot(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fail(err)
+			}
+		}
+		res.Report.Workload = name
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res.Report); err != nil {
+				fail(err)
+			}
+		} else {
+			fmt.Print(res.Report)
+		}
+		if *opt {
+			printOptimizer(prog, res.Cache)
+		}
+		if *regions {
+			dumpRegions(prog, res.Cache)
+		}
+		fmt.Println()
+	}
+}
+
+func loadProgram(asmFile, workload string, scale int) (*program.Program, string, error) {
+	if asmFile != "" {
+		src, err := os.ReadFile(asmFile)
+		if err != nil {
+			return nil, "", err
+		}
+		p, err := asm.Parse(string(src))
+		if err != nil {
+			return nil, "", err
+		}
+		return p, asmFile, nil
+	}
+	w, ok := workloads.Get(workload)
+	if !ok {
+		return nil, "", fmt.Errorf("unknown workload %q (try -list)", workload)
+	}
+	return w.Build(scale), workload, nil
+}
+
+func printOptimizer(p *program.Program, cache *codecache.Cache) {
+	s := optimizer.Summarize(p, cache)
+	fmt.Printf("  optimizer: cyclic=%d/%d fallthrough-edges=%d/%d jumps-removed=%d invariant=%d hoistable=%d\n",
+		s.Cyclic, s.Regions, s.FallThroughs, s.PossibleFallEdges,
+		s.JumpsRemoved, s.InvariantCandidates, s.Hoistable)
+}
+
+func dumpRegions(p *program.Program, cache *codecache.Cache) {
+	for _, r := range cache.AllRegions() {
+		fmt.Printf("  region %d: %s entry=%d blocks=%d instrs=%d stubs=%d cyclic=%v execs=%d cycles=%d\n",
+			r.ID, r.Kind, r.Entry, len(r.Blocks), r.Instrs, r.Stubs, r.Cyclic, r.Traversals, r.CycleTraversals)
+		for i, b := range r.Blocks {
+			succ := ""
+			for _, s := range r.Succs[i] {
+				succ += fmt.Sprintf(" ->%d", r.Blocks[s].Start)
+			}
+			fmt.Printf("    block @%d len=%d%s\n", b.Start, b.Len, succ)
+		}
+	}
+	_ = p
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "regionsim:", err)
+	os.Exit(1)
+}

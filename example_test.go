@@ -1,0 +1,61 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/dynopt"
+	"repro/internal/vm"
+)
+
+// ExampleRunWorkload runs one benchmark under LEI and prints headline
+// metrics. Simulations are bit-deterministic, so the output is stable.
+func ExampleRunWorkload() {
+	rep, err := repro.RunWorkload("fig3-nested-loops", repro.SelectorLEI, repro.Options{Scale: 500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("regions=%d cyclic=%d cover90=%d\n", rep.Regions, rep.SpannedCycles, rep.CoverSet90)
+	// Output:
+	// regions=3 cyclic=1 cover90=1
+}
+
+// ExampleNewSelector compares two selectors on the same program.
+func ExampleNewSelector() {
+	for _, name := range []string{repro.SelectorNET, repro.SelectorLEI} {
+		rep, err := repro.RunWorkload("fig2-loop-call", name, repro.Options{Scale: 2000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: spans-cycle=%v\n", name, rep.SpannedCycles > 0)
+	}
+	// Output:
+	// net: spans-cycle=false
+	// lei: spans-cycle=true
+}
+
+// Example_assembler simulates a hand-written assembly program.
+func Example_assembler() {
+	prog := asm.MustParse(`
+func main:
+  movi r1, 100
+loop:
+  addi r2, r2, 7
+  addi r1, r1, -1
+  bgt  r1, r0, loop
+  halt
+`)
+	res, err := dynopt.Run(prog, dynopt.Config{
+		Selector: core.NewLEI(core.DefaultParams()),
+		VM:       vm.Config{},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("regions=%d hit=%.0f%%\n", res.Report.Regions, 100*res.Report.HitRate)
+	// Output:
+	// regions=1 hit=64%
+}

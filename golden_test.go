@@ -1,0 +1,65 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestGoldenNumbers pins exact values for a few benchmark/selector pairs at
+// the default scales. Every part of the stack is deterministic — workload
+// PRNGs run inside the simulated programs, selection is replayable — so
+// any change to these numbers means an intentional algorithm or workload
+// change (update the table and EXPERIMENTS.md together) or a regression.
+func TestGoldenNumbers(t *testing.T) {
+	type golden struct {
+		bench, sel    string
+		regions       int
+		expansion     int
+		stubs         int
+		cover90       int
+		spannedCycles int
+	}
+	// Values recorded from the suite at the time EXPERIMENTS.md was
+	// written.
+	want := []golden{
+		{"gzip", experiments.NET, 4, 51, 7, 3, 1},
+		{"gzip", experiments.LEI, 2, 51, 7, 1, 0},
+		{"mcf", experiments.NET, 6, 56, 11, 2, 1},
+		{"mcf", experiments.LEI, 5, 62, 9, 1, 2},
+		{"eon", experiments.NET, 13, 78, 21, 11, 0},
+		{"eon", experiments.LEIComb, 7, 83, 14, 6, 1},
+	}
+	res := results(t)
+	for _, g := range want {
+		rep := res.Get(g.bench, g.sel)
+		got := golden{
+			bench: g.bench, sel: g.sel,
+			regions:       rep.Regions,
+			expansion:     rep.CodeExpansion,
+			stubs:         rep.Stubs,
+			cover90:       rep.CoverSet90,
+			spannedCycles: rep.SpannedCycles,
+		}
+		if got != g {
+			t.Errorf("golden drift:\n got %+v\nwant %+v", got, g)
+		}
+	}
+}
+
+// TestSuiteFullyDeterministic re-runs two benchmarks end to end and
+// compares entire reports against the shared suite results.
+func TestSuiteFullyDeterministic(t *testing.T) {
+	res := results(t)
+	for _, b := range []string{"gcc", "twolf"} {
+		for _, sel := range experiments.AllSelectors() {
+			rep, err := experiments.RunOne(b, sel, 0, experiments.DefaultParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep != res.Get(b, sel) {
+				t.Errorf("%s/%s: non-deterministic report", b, sel)
+			}
+		}
+	}
+}

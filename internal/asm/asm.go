@@ -1,0 +1,410 @@
+// Package asm provides a small textual assembler for the simulator's ISA,
+// used by examples, tools, and tests. The syntax mirrors what
+// isa.Instr.String prints, one instruction per line:
+//
+//	; comment (also //)
+//	func main:          ; begin function "main" (also defines label main)
+//	loop:               ; label
+//	  movi r1, 100
+//	  addi r1, r1, -1
+//	  add  r2, r2, r3
+//	  load r4, [r2+8]
+//	  store [r2+8], r4
+//	  bgt  r1, r0, loop ; beq bne blt ble bgt bge
+//	  jmp  done
+//	  call helper
+//	  la   r5, table    ; r5 = address of label
+//	  jmpi r5
+//	  calli r5
+//	  ret
+//	done:
+//	  halt
+//
+// Branch targets may be label names or absolute instruction addresses.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Parse assembles source text into a Program.
+func Parse(src string) (*program.Program, error) {
+	b := program.NewBuilder()
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseLine(b, line); err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", ln+1, err)
+		}
+	}
+	return b.Build()
+}
+
+// MustParse is Parse, panicking on error.
+func MustParse(src string) *program.Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseLine(b *program.Builder, line string) error {
+	if name, ok := strings.CutPrefix(line, "func "); ok {
+		name = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(name), ":"))
+		if name == "" {
+			return fmt.Errorf("empty function name")
+		}
+		if !validLabel(name) {
+			return fmt.Errorf("bad function name %q", name)
+		}
+		b.Func(name)
+		return nil
+	}
+	if strings.HasSuffix(line, ":") {
+		name := strings.TrimSpace(strings.TrimSuffix(line, ":"))
+		if !validLabel(name) {
+			return fmt.Errorf("bad label %q", line)
+		}
+		b.Label(name)
+		return nil
+	}
+	op, rest, _ := strings.Cut(line, " ")
+	args := splitArgs(rest)
+	switch op {
+	case "nop":
+		return expectArgs(args, 0, func() { b.Nop() })
+	case "halt":
+		return expectArgs(args, 0, func() { b.Halt() })
+	case "ret":
+		return expectArgs(args, 0, func() { b.Ret() })
+	case "movi":
+		r, err := reg(args, 0)
+		if err != nil {
+			return err
+		}
+		v, err := imm(args, 1)
+		if err != nil {
+			return err
+		}
+		b.MovImm(r, v)
+		return nil
+	case "mov":
+		return twoRegs(args, func(d, s isa.Reg) { b.Mov(d, s) })
+	case "addi":
+		d, err := reg(args, 0)
+		if err != nil {
+			return err
+		}
+		s, err := reg(args, 1)
+		if err != nil {
+			return err
+		}
+		v, err := imm(args, 2)
+		if err != nil {
+			return err
+		}
+		b.AddImm(d, s, v)
+		return nil
+	case "add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr":
+		return threeRegs(args, func(d, s, t isa.Reg) {
+			switch op {
+			case "add":
+				b.Add(d, s, t)
+			case "sub":
+				b.Sub(d, s, t)
+			case "mul":
+				b.Mul(d, s, t)
+			case "div":
+				b.Div(d, s, t)
+			case "rem":
+				b.Rem(d, s, t)
+			case "and":
+				b.And(d, s, t)
+			case "or":
+				b.Or(d, s, t)
+			case "xor":
+				b.Xor(d, s, t)
+			case "shl":
+				b.Shl(d, s, t)
+			case "shr":
+				b.Shr(d, s, t)
+			}
+		})
+	case "load":
+		d, err := reg(args, 0)
+		if err != nil {
+			return err
+		}
+		base, off, err := memOperand(args, 1)
+		if err != nil {
+			return err
+		}
+		b.Load(d, base, off)
+		return nil
+	case "store":
+		base, off, err := memOperand(args, 0)
+		if err != nil {
+			return err
+		}
+		s, err := reg(args, 1)
+		if err != nil {
+			return err
+		}
+		b.Store(base, off, s)
+		return nil
+	case "jmp":
+		t, addr, numeric, err := target(args, 0)
+		if err != nil {
+			return err
+		}
+		if numeric {
+			b.Emit(isa.Instr{Op: isa.Jmp, Target: addr})
+		} else {
+			b.Jmp(t)
+		}
+		return nil
+	case "call":
+		t, addr, numeric, err := target(args, 0)
+		if err != nil {
+			return err
+		}
+		if numeric {
+			b.Emit(isa.Instr{Op: isa.Call, Target: addr})
+		} else {
+			b.Call(t)
+		}
+		return nil
+	case "beq", "bne", "blt", "ble", "bgt", "bge":
+		a, err := reg(args, 0)
+		if err != nil {
+			return err
+		}
+		c, err := reg(args, 1)
+		if err != nil {
+			return err
+		}
+		t, addr, numeric, err := target(args, 2)
+		if err != nil {
+			return err
+		}
+		if numeric {
+			b.Emit(isa.Instr{Op: isa.Br, Cond: condOf(op), SrcA: a, SrcB: c, Target: addr})
+		} else {
+			b.Br(condOf(op), a, c, t)
+		}
+		return nil
+	case "jmpi":
+		return oneReg(args, func(r isa.Reg) { b.JmpInd(r) })
+	case "calli":
+		return oneReg(args, func(r isa.Reg) { b.CallInd(r) })
+	case "la":
+		r, err := reg(args, 0)
+		if err != nil {
+			return err
+		}
+		t, addr, numeric, err := target(args, 1)
+		if err != nil {
+			return err
+		}
+		if numeric {
+			b.MovImm(r, int64(addr))
+		} else {
+			b.MovLabel(r, t)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown mnemonic %q", op)
+	}
+}
+
+// validLabel restricts label and function names to identifier syntax so a
+// label can never be confused with a numeric (absolute-address) branch
+// target.
+func validLabel(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9', r == '.', r == '-', r == '$':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func condOf(op string) isa.Cond {
+	switch op {
+	case "beq":
+		return isa.CondEq
+	case "bne":
+		return isa.CondNe
+	case "blt":
+		return isa.CondLt
+	case "ble":
+		return isa.CondLe
+	case "bgt":
+		return isa.CondGt
+	default:
+		return isa.CondGe
+	}
+}
+
+// splitArgs splits comma-separated operands, keeping "[rX+N]" intact.
+func splitArgs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func expectArgs(args []string, n int, f func()) error {
+	if len(args) != n {
+		return fmt.Errorf("expected %d operands, got %d", n, len(args))
+	}
+	f()
+	return nil
+}
+
+func reg(args []string, i int) (isa.Reg, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("missing register operand %d", i+1)
+	}
+	s := args[i]
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return isa.Reg(n), nil
+}
+
+func imm(args []string, i int) (int64, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("missing immediate operand %d", i+1)
+	}
+	v, err := strconv.ParseInt(args[i], 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", args[i])
+	}
+	return v, nil
+}
+
+// target returns the label-or-address operand; numeric reports whether the
+// operand was an absolute instruction address rather than a label name.
+func target(args []string, i int) (label string, addr isa.Addr, numeric bool, err error) {
+	if i >= len(args) {
+		return "", 0, false, fmt.Errorf("missing target operand %d", i+1)
+	}
+	s := args[i]
+	if n, perr := strconv.ParseUint(s, 0, 32); perr == nil {
+		return "", isa.Addr(n), true, nil
+	}
+	return s, 0, false, nil
+}
+
+// memOperand parses "[rX+N]" or "[rX-N]" or "[rX]".
+func memOperand(args []string, i int) (isa.Reg, int64, error) {
+	if i >= len(args) {
+		return 0, 0, fmt.Errorf("missing memory operand %d", i+1)
+	}
+	s := args[i]
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sep := strings.IndexAny(inner, "+-")
+	regPart, offPart := inner, ""
+	if sep > 0 {
+		regPart, offPart = inner[:sep], inner[sep:]
+	}
+	if !strings.HasPrefix(regPart, "r") {
+		return 0, 0, fmt.Errorf("bad memory base %q", s)
+	}
+	n, err := strconv.Atoi(regPart[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, 0, fmt.Errorf("bad memory base %q", s)
+	}
+	var off int64
+	if offPart != "" {
+		off, err = strconv.ParseInt(offPart, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad memory offset %q", s)
+		}
+	}
+	return isa.Reg(n), off, nil
+}
+
+func oneReg(args []string, f func(isa.Reg)) error {
+	r, err := reg(args, 0)
+	if err != nil {
+		return err
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("expected 1 operand, got %d", len(args))
+	}
+	f(r)
+	return nil
+}
+
+func twoRegs(args []string, f func(a, b isa.Reg)) error {
+	a, err := reg(args, 0)
+	if err != nil {
+		return err
+	}
+	c, err := reg(args, 1)
+	if err != nil {
+		return err
+	}
+	if len(args) != 2 {
+		return fmt.Errorf("expected 2 operands, got %d", len(args))
+	}
+	f(a, c)
+	return nil
+}
+
+func threeRegs(args []string, f func(a, b, c isa.Reg)) error {
+	a, err := reg(args, 0)
+	if err != nil {
+		return err
+	}
+	c, err := reg(args, 1)
+	if err != nil {
+		return err
+	}
+	d, err := reg(args, 2)
+	if err != nil {
+		return err
+	}
+	if len(args) != 3 {
+		return fmt.Errorf("expected 3 operands, got %d", len(args))
+	}
+	f(a, c, d)
+	return nil
+}

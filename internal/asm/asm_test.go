@@ -1,0 +1,241 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func TestParseAndRun(t *testing.T) {
+	src := `
+; sum the numbers 1..10 into r2 via a helper
+func main:
+  movi r1, 10
+loop:
+  call addit
+  addi r1, r1, -1
+  bgt  r1, r0, loop
+  halt
+
+func addit:
+  add r2, r2, r1
+  ret
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(p, vm.Config{})
+	if _, err := m.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Reg(2); got != 55 {
+		t.Errorf("r2 = %d, want 55", got)
+	}
+}
+
+func TestParseAllForms(t *testing.T) {
+	src := `
+func main:
+  nop
+  movi r1, -42
+  mov r2, r1
+  add r3, r1, r2
+  sub r3, r3, r1
+  mul r4, r2, r2
+  div r5, r4, r2
+  rem r6, r4, r2
+  and r7, r1, r2
+  or  r8, r1, r2
+  xor r9, r1, r2
+  shl r10, r2, r0
+  shr r11, r2, r0
+  addi r12, r1, 100
+  store [r12+4], r1
+  load r13, [r12+4]
+  la r14, table
+  jmpi r14
+table:
+  calli r14   // never reached dynamically; r14 points at table
+  ret
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 20 {
+		t.Errorf("len = %d", p.Len())
+	}
+	// Verify a few decoded instructions.
+	if in := p.At(1); in.Op != isa.MovImm || in.Imm != -42 {
+		t.Errorf("instr 1 = %s", in)
+	}
+	if in := p.At(15); in.Op != isa.Load || in.Imm != 4 || in.SrcA != 12 {
+		t.Errorf("instr 15 = %s", in)
+	}
+}
+
+func TestNumericTargets(t *testing.T) {
+	src := `
+  movi r1, 3
+  addi r1, r1, -1
+  bgt r1, r0, 1
+  jmp 4
+  halt
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := p.At(2); in.Target != 1 {
+		t.Errorf("numeric branch target = %d", in.Target)
+	}
+	st, err := vm.Run(p, vm.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FinalPC != 4 {
+		t.Errorf("final pc = %d", st.FinalPC)
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	src := `
+; full-line comment
+// another comment style
+
+  movi r1, 1 ; trailing comment
+  halt // trailing
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 {
+		t.Errorf("len = %d, want 2", p.Len())
+	}
+}
+
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{"  frobnicate r1\n  halt", "line 1"},
+		{"  movi r99, 1\n  halt", "bad register"},
+		{"  movi r1\n  halt", "missing immediate"},
+		{"  movi r1, xyz\n  halt", "bad immediate"},
+		{"  load r1, r2\n  halt", "bad memory operand"},
+		{"  jmp nowhere\n  halt", "nowhere"},
+		{"  add r1, r2\n  halt", "missing register"},
+		{"func :\n  halt", "empty function name"},
+		{"a b:\n  halt", "bad label"},
+		{"  beq r1, r2\n  halt", "missing target"},
+		{"  nop r1\n  halt", "expected 0 operands"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q) err = %v, want containing %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic")
+		}
+	}()
+	MustParse("bogus")
+}
+
+// TestRoundTripInstructionStrings re-assembles every instruction of a real
+// workload from its String() form (with numeric targets) and verifies the
+// decoded program is identical.
+func TestRoundTripInstructionStrings(t *testing.T) {
+	orig := workloads.MustGet("gcc").Build(1)
+	var sb strings.Builder
+	for a := isa.Addr(0); int(a) < orig.Len(); a++ {
+		sb.WriteString(orig.At(a).String())
+		sb.WriteByte('\n')
+	}
+	p, err := Parse(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != orig.Len() {
+		t.Fatalf("len %d vs %d", p.Len(), orig.Len())
+	}
+	for a := isa.Addr(0); int(a) < orig.Len(); a++ {
+		if p.At(a) != orig.At(a) {
+			t.Fatalf("instr %d: %s vs %s", a, p.At(a), orig.At(a))
+		}
+	}
+	// And it runs identically.
+	s1, err := vm.Run(orig, vm.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := vm.Run(p, vm.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Errorf("round-tripped program runs differently: %+v vs %+v", s1, s2)
+	}
+}
+
+// TestFormatRoundTrip: Format must produce text that Parse reassembles to
+// the identical instruction stream, for every registered workload and a
+// set of random programs.
+func TestFormatRoundTrip(t *testing.T) {
+	names := []string{"gzip", "gcc", "mcf", "eon", "perlbmk", "micro-retcycle", "fig2-loop-call"}
+	for _, n := range names {
+		orig := workloads.MustGet(n).Build(1)
+		text := Format(orig)
+		re, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: reparse failed: %v\n%s", n, err, text)
+		}
+		if re.Len() != orig.Len() {
+			t.Fatalf("%s: len %d vs %d", n, re.Len(), orig.Len())
+		}
+		for a := isa.Addr(0); int(a) < orig.Len(); a++ {
+			if re.At(a) != orig.At(a) {
+				t.Fatalf("%s @%d: %s vs %s", n, a, re.At(a), orig.At(a))
+			}
+		}
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		orig := workloads.Random(workloads.GenConfig{Seed: seed, Funcs: 3})
+		re, err := Parse(Format(orig))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for a := isa.Addr(0); int(a) < orig.Len(); a++ {
+			if re.At(a) != orig.At(a) {
+				t.Fatalf("seed %d @%d: %s vs %s", seed, a, re.At(a), orig.At(a))
+			}
+		}
+	}
+}
+
+// TestFormatPreservesSemantics: the reassembled program runs identically.
+func TestFormatPreservesSemantics(t *testing.T) {
+	orig := workloads.MustGet("twolf").Build(20)
+	re, err := Parse(Format(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := vm.Run(orig, vm.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := vm.Run(re, vm.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Errorf("runs differ: %+v vs %+v", s1, s2)
+	}
+}

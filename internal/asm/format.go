@@ -1,0 +1,78 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Format renders a program as assembly text that Parse accepts and that
+// reassembles to the identical instruction stream. Functions and labels
+// are emitted at their addresses; branch targets are printed as label
+// names when a label exists at the target and as absolute addresses
+// otherwise.
+func Format(p *program.Program) string {
+	labelAt := labelIndex(p)
+	var b strings.Builder
+	for a := isa.Addr(0); int(a) < p.Len(); a++ {
+		for _, f := range p.Funcs() {
+			if f.Entry == a {
+				fmt.Fprintf(&b, "func %s:\n", f.Name)
+			}
+		}
+		for _, name := range labelAt[a] {
+			if isFuncName(p, name) {
+				continue // already emitted by the func header
+			}
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		fmt.Fprintf(&b, "  %s\n", render(p.At(a), labelAt))
+	}
+	return b.String()
+}
+
+func isFuncName(p *program.Program, name string) bool {
+	for _, f := range p.Funcs() {
+		if f.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// labelIndex maps each address to the sorted label names defined there.
+func labelIndex(p *program.Program) map[isa.Addr][]string {
+	out := map[isa.Addr][]string{}
+	for name, addr := range p.Labels() {
+		out[addr] = append(out[addr], name)
+	}
+	for _, names := range out {
+		sort.Strings(names)
+	}
+	return out
+}
+
+// targetName renders a branch target as a label when one exists.
+func targetName(labelAt map[isa.Addr][]string, t isa.Addr) string {
+	if names := labelAt[t]; len(names) > 0 {
+		return names[0]
+	}
+	return fmt.Sprintf("%d", t)
+}
+
+func render(in isa.Instr, labelAt map[isa.Addr][]string) string {
+	switch in.Op {
+	case isa.Jmp:
+		return fmt.Sprintf("jmp %s", targetName(labelAt, in.Target))
+	case isa.Call:
+		return fmt.Sprintf("call %s", targetName(labelAt, in.Target))
+	case isa.Br:
+		return fmt.Sprintf("b%s r%d, r%d, %s", in.Cond, in.SrcA, in.SrcB, targetName(labelAt, in.Target))
+	default:
+		// All other instructions print exactly in the accepted syntax.
+		return in.String()
+	}
+}

@@ -1,0 +1,49 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// FuzzParse: the assembler must never panic, and anything it accepts must
+// be a structurally valid program (program.New validates on construction).
+func FuzzParse(f *testing.F) {
+	f.Add("func main:\n  movi r1, 10\nloop:\n  addi r1, r1, -1\n  bgt r1, r0, loop\n  halt\n")
+	f.Add("  jmp 1\n  halt")
+	f.Add("x:\n  la r1, x\n  jmpi r1\n  halt")
+	f.Add("  store [r2+4], r1\n  load r1, [r2-4]\n  ret")
+	f.Add(Format(workloads.MustGet("gzip").Build(1)))
+	f.Add("; comment only")
+	f.Add("func :\n")
+	f.Add("  movi r99, 1")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted programs must re-format and re-parse to the same code.
+		p2, err := Parse(Format(p))
+		if err != nil {
+			t.Fatalf("format of accepted program rejected: %v", err)
+		}
+		if p2.Len() != p.Len() {
+			t.Fatalf("format round trip changed length: %d vs %d", p2.Len(), p.Len())
+		}
+		// And running them (briefly) must only ever fail with a vm error,
+		// never a panic.
+		_, _ = vm.Run(p, vm.Config{MaxInstrs: 10_000, MaxCallDepth: 64}, nil)
+	})
+}
+
+// FuzzParseNoCrashOnGarbage complements FuzzParse with byte-level noise.
+func FuzzParseNoCrashOnGarbage(f *testing.F) {
+	f.Add([]byte("movi r1"))
+	f.Add([]byte{0, 1, 2, 255})
+	f.Add([]byte(strings.Repeat("a:\n", 100)))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		_, _ = Parse(string(raw))
+	})
+}

@@ -1,0 +1,483 @@
+// Package codecache models the software code cache of a trace-based
+// dynamic optimization system (paper §2.1): regions of copied application
+// code, the exit stubs that leave them, the entry lookup table, and the
+// accounting (instructions copied, stubs, bytes, executions, transitions)
+// from which all of the paper's memory and locality metrics derive.
+//
+// As in the paper's framework, the cache is unbounded by default; a bounded
+// variant with full-flush eviction is provided as an extension.
+package codecache
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// StubBytes is the conservative per-exit-stub size estimate the paper uses
+// when computing cache sizes: "we conservatively add 10 bytes for each exit
+// stub" (§4.3.4).
+const StubBytes = 10
+
+// PageBytes is the virtual-memory page size used to quantify trace
+// separation: the paper's §1 observes that a related trace selected later
+// is "inserted far from the original trace, potentially on a separate
+// virtual memory page".
+const PageBytes = 4096
+
+// Kind distinguishes single-path traces from combined multi-path regions.
+type Kind uint8
+
+const (
+	// KindTrace is a single interprocedural path (a superblock): one entry,
+	// blocks executed in sequence, optionally ending with a branch back to
+	// the head (a spanned cycle).
+	KindTrace Kind = iota
+	// KindMultipath is a region with internal split and join points,
+	// produced by trace combination (paper §4).
+	KindMultipath
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == KindTrace {
+		return "trace"
+	}
+	return "multipath"
+}
+
+// BlockSpec names one static program basic block included in a region.
+type BlockSpec struct {
+	// Start is the block's leader address in the original program.
+	Start isa.Addr
+	// Len is the block's instruction count.
+	Len int
+}
+
+// Spec describes a region to insert. Blocks[0] must be the entry block.
+// For KindTrace the blocks form a chain in order; Cyclic records that the
+// final block ends with a branch back to the entry (a spanned cycle).
+// For KindMultipath, Succs[i] lists the in-region successor block indices
+// of block i; Cyclic is ignored (derived from edges to block 0).
+type Spec struct {
+	Entry  isa.Addr
+	Kind   Kind
+	Blocks []BlockSpec
+	Succs  [][]int
+	Cyclic bool
+}
+
+// ID identifies a live region within a cache: it indexes the current
+// regions slice. After a bounded-cache flush, IDs are reused by new
+// regions; SelectedSeq is the stable global selection order.
+type ID int
+
+// Region is an immutable selected region plus its mutable execution
+// statistics.
+type Region struct {
+	ID   ID
+	Kind Kind
+	// Entry is the region's single entry point (original program address).
+	Entry isa.Addr
+	// Blocks are the member blocks; Blocks[0] is the entry block.
+	Blocks []BlockSpec
+	// Succs is the in-region adjacency (multipath regions). For traces it
+	// holds the implied chain plus the cycle edge, so both kinds can be
+	// inspected uniformly.
+	Succs [][]int
+	// Cyclic records whether the region contains an edge back to its entry
+	// ("spans a cycle", §3.2.1).
+	Cyclic bool
+	// Instrs is the number of program instructions copied into the cache
+	// for this region (code expansion contribution).
+	Instrs int
+	// Stubs is the number of exit stubs the region requires.
+	Stubs int
+	// CodeBytes is the encoded size of the copied instructions.
+	CodeBytes int
+	// SelectedSeq orders regions by selection time.
+	SelectedSeq uint64
+	// CacheAddr is the region's byte offset in the code cache. Regions are
+	// placed sequentially in selection order, as Dynamo-style systems do,
+	// so traces selected far apart in time land far apart in memory — the
+	// paper's trace-separation problem ("potentially on a separate virtual
+	// memory page", §1) becomes directly measurable.
+	CacheAddr int
+
+	// Execution statistics, maintained by the simulator.
+
+	// Entries counts transfers of control into the region head.
+	Entries uint64
+	// Traversals counts completed passes through the region: each time
+	// control either wraps back to the head (a cycle) or leaves.
+	Traversals uint64
+	// CycleTraversals counts traversals that ended by taking a branch to
+	// the top of the region (executed cycles, §3.2.1).
+	CycleTraversals uint64
+	// ExecInstrs counts instructions executed inside the region.
+	ExecInstrs uint64
+
+	byStart      map[isa.Addr]int // block start -> index
+	blockByteOff []int            // byte offset of each block in the region image
+	blockBytes   []int            // encoded byte size of each block
+}
+
+// BlockByteOffset returns the byte offset of block i within the region's
+// cache image (blocks are laid contiguously in spec order, stubs after).
+func (r *Region) BlockByteOffset(i int) int { return r.blockByteOff[i] }
+
+// BlockBytes returns the encoded size of block i in bytes.
+func (r *Region) BlockBytes(i int) int { return r.blockBytes[i] }
+
+// NumBlocks returns the number of blocks in the region.
+func (r *Region) NumBlocks() int { return len(r.Blocks) }
+
+// BlockIndex returns the index of the block starting at addr, or -1.
+func (r *Region) BlockIndex(addr isa.Addr) int {
+	i, ok := r.byStart[addr]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Contains reports whether the region includes the block starting at addr.
+func (r *Region) Contains(addr isa.Addr) bool { return r.BlockIndex(addr) >= 0 }
+
+// Advance models execution leaving block cur for original address next.
+// It returns the next in-region block index when control stays inside the
+// region, with cycled set when the transfer is a taken branch back to the
+// region entry.
+func (r *Region) Advance(cur int, next isa.Addr, taken bool) (nextIdx int, stay, cycled bool) {
+	switch r.Kind {
+	case KindTrace:
+		if cur+1 < len(r.Blocks) && r.Blocks[cur+1].Start == next {
+			return cur + 1, true, false
+		}
+		// A taken branch to the top of the trace keeps execution in the
+		// region, whether it is the trace-ending cycle branch or a side
+		// exit that the system links back to its own head.
+		if taken && next == r.Entry {
+			return 0, true, true
+		}
+		return 0, false, false
+	default: // KindMultipath
+		idx, ok := r.byStart[next]
+		if !ok {
+			return 0, false, false
+		}
+		// Any transfer to a member block stays inside the region: edges
+		// observed during profiling are region-internal, and exits that
+		// target a member block were replaced by direct edges when the
+		// region was formed (paper Figure 13, line 16).
+		return idx, true, taken && next == r.Entry
+	}
+}
+
+// Cache is the simulated code cache.
+type Cache struct {
+	prog    *program.Program
+	regions []*Region
+	entries map[isa.Addr]ID
+	seq     uint64
+
+	// Cumulative counters. Evicted regions keep contributing: code
+	// expansion measures optimizer work done, not current occupancy.
+	totalInstrs    int
+	totalStubs     int
+	totalCodeBytes int
+	flushes        int
+
+	// Limit, in estimated bytes, for the bounded-cache extension; 0 means
+	// unbounded (the paper's configuration).
+	limitBytes int
+	liveBytes  int
+	nextAddr   int // next free cache byte offset
+
+	evicted []*Region
+}
+
+// New returns an empty, unbounded cache for the program.
+func New(p *program.Program) *Cache {
+	return &Cache{prog: p, entries: make(map[isa.Addr]ID)}
+}
+
+// NewBounded returns a cache that flushes completely whenever the estimated
+// occupancy would exceed limitBytes (the preemptive-flush policy studied by
+// Hazelwood; an extension beyond the paper's unbounded setup).
+func NewBounded(p *program.Program, limitBytes int) *Cache {
+	c := New(p)
+	c.limitBytes = limitBytes
+	return c
+}
+
+// Lookup returns the region whose entry is addr.
+func (c *Cache) Lookup(addr isa.Addr) (*Region, bool) {
+	id, ok := c.entries[addr]
+	if !ok {
+		return nil, false
+	}
+	return c.regions[id], true
+}
+
+// HasEntry reports whether addr begins a cached region.
+func (c *Cache) HasEntry(addr isa.Addr) bool {
+	_, ok := c.entries[addr]
+	return ok
+}
+
+// ContainsInstr reports whether the instruction at addr has been copied
+// into any live region. FORM-TRACE uses region *entries* to stop trace
+// growth; this broader test supports metrics and tests.
+func (c *Cache) ContainsInstr(addr isa.Addr) bool {
+	for _, r := range c.regions {
+		for _, b := range r.Blocks {
+			if addr >= b.Start && addr < b.Start+isa.Addr(b.Len) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Insert validates spec, computes its stub and size accounting, installs it,
+// and returns the new region. Inserting a region whose entry is already
+// cached is an error: the caller should have looked it up first.
+func (c *Cache) Insert(spec Spec) (*Region, error) {
+	if err := c.validate(spec); err != nil {
+		return nil, err
+	}
+	r := &Region{
+		Kind:        spec.Kind,
+		Entry:       spec.Entry,
+		Blocks:      append([]BlockSpec(nil), spec.Blocks...),
+		Cyclic:      spec.Cyclic,
+		SelectedSeq: c.seq,
+		byStart:     make(map[isa.Addr]int, len(spec.Blocks)),
+	}
+	c.seq++
+	for i, b := range r.Blocks {
+		r.byStart[b.Start] = i
+		r.Instrs += b.Len
+		bb := c.prog.RangeBytes(b.Start, b.Start+isa.Addr(b.Len))
+		r.blockByteOff = append(r.blockByteOff, r.CodeBytes)
+		r.blockBytes = append(r.blockBytes, bb)
+		r.CodeBytes += bb
+	}
+	r.Succs = c.buildSuccs(spec)
+	if spec.Kind == KindMultipath {
+		r.Cyclic = false
+		for _, ss := range r.Succs {
+			for _, s := range ss {
+				if s == 0 {
+					r.Cyclic = true
+				}
+			}
+		}
+	}
+	r.Stubs = c.countStubs(r)
+
+	if c.limitBytes > 0 && c.liveBytes+r.EstimatedBytes() > c.limitBytes {
+		c.flush()
+	}
+	// The ID indexes the live regions slice, so it is assigned only after
+	// any flush has emptied it.
+	r.ID = ID(len(c.regions))
+	r.CacheAddr = c.nextAddr
+	c.nextAddr += r.EstimatedBytes()
+	c.regions = append(c.regions, r)
+	c.entries[r.Entry] = r.ID
+	c.totalInstrs += r.Instrs
+	c.totalStubs += r.Stubs
+	c.totalCodeBytes += r.CodeBytes
+	c.liveBytes += r.EstimatedBytes()
+	return r, nil
+}
+
+func (c *Cache) validate(spec Spec) error {
+	if len(spec.Blocks) == 0 {
+		return fmt.Errorf("codecache: empty region")
+	}
+	if spec.Blocks[0].Start != spec.Entry {
+		return fmt.Errorf("codecache: entry %d is not the first block (%d)", spec.Entry, spec.Blocks[0].Start)
+	}
+	if _, dup := c.entries[spec.Entry]; dup {
+		return fmt.Errorf("codecache: region with entry %d already cached", spec.Entry)
+	}
+	seen := make(map[isa.Addr]bool, len(spec.Blocks))
+	for _, b := range spec.Blocks {
+		if !c.prog.IsBlockStart(b.Start) {
+			return fmt.Errorf("codecache: block %d is not a program block leader", b.Start)
+		}
+		if got := c.prog.BlockLen(b.Start); got != b.Len {
+			return fmt.Errorf("codecache: block %d has length %d, program says %d", b.Start, b.Len, got)
+		}
+		if seen[b.Start] {
+			return fmt.Errorf("codecache: duplicate block %d in region", b.Start)
+		}
+		seen[b.Start] = true
+	}
+	if spec.Kind == KindMultipath {
+		if len(spec.Succs) != len(spec.Blocks) {
+			return fmt.Errorf("codecache: multipath region needs adjacency for every block")
+		}
+		for i, ss := range spec.Succs {
+			for _, s := range ss {
+				if s < 0 || s >= len(spec.Blocks) {
+					return fmt.Errorf("codecache: block %d has out-of-range successor %d", i, s)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// buildSuccs returns the in-region adjacency. For traces it materializes
+// the chain (and cycle edge) so that analyses can treat both kinds alike.
+func (c *Cache) buildSuccs(spec Spec) [][]int {
+	if spec.Kind == KindMultipath {
+		out := make([][]int, len(spec.Succs))
+		for i, ss := range spec.Succs {
+			out[i] = append([]int(nil), ss...)
+		}
+		return out
+	}
+	out := make([][]int, len(spec.Blocks))
+	for i := range spec.Blocks {
+		if i+1 < len(spec.Blocks) {
+			out[i] = []int{i + 1}
+		} else if spec.Cyclic {
+			out[i] = []int{0}
+		}
+	}
+	return out
+}
+
+// countStubs counts the exit stubs a region requires: one for every
+// control-flow direction that leaves the region. Directions covered by
+// in-region successors need no stub. Indirect branches (including returns)
+// always keep one stub for unexpected targets even when their observed
+// target is in the region.
+func (c *Cache) countStubs(r *Region) int {
+	stubs := 0
+	for i, b := range r.Blocks {
+		internal := make(map[isa.Addr]bool, len(r.Succs[i]))
+		for _, s := range r.Succs[i] {
+			internal[r.Blocks[s].Start] = true
+		}
+		end := b.Start + isa.Addr(b.Len)
+		last := c.prog.At(end - 1)
+		countDir := func(tgt isa.Addr) {
+			if !internal[tgt] {
+				stubs++
+			}
+		}
+		switch {
+		case last.Op == isa.Halt:
+			// No exit.
+		case last.Op == isa.Br:
+			countDir(last.Target)
+			countDir(end)
+		case last.Op == isa.Jmp || last.Op == isa.Call:
+			countDir(last.Target)
+		case last.IsIndirect():
+			stubs++
+		default:
+			// Pure fall-through block end.
+			countDir(end)
+		}
+	}
+	return stubs
+}
+
+// flush implements the bounded-cache full-flush policy.
+func (c *Cache) flush() {
+	c.flushes++
+	c.evicted = append(c.evicted, c.regions...)
+	for _, r := range c.regions {
+		delete(c.entries, r.Entry)
+	}
+	c.regions = c.regions[:0]
+	c.liveBytes = 0
+	c.nextAddr = 0 // the flushed cache is repopulated from its base
+	// Region IDs restart; SelectedSeq keeps global ordering.
+	// Callers holding *Region pointers across a flush see stale regions,
+	// which is intended: their statistics remain valid for analysis.
+}
+
+// EstimatedBytes estimates the region's cache footprint the way the paper
+// does for Figure 18: instruction bytes plus StubBytes per exit stub.
+func (r *Region) EstimatedBytes() int { return r.CodeBytes + r.Stubs*StubBytes }
+
+// Regions returns the live regions in selection order.
+func (c *Cache) Regions() []*Region { return c.regions }
+
+// AllRegions returns every region ever selected (including evicted ones),
+// ordered by selection time.
+func (c *Cache) AllRegions() []*Region {
+	if len(c.evicted) == 0 {
+		return c.regions
+	}
+	all := append(append([]*Region(nil), c.evicted...), c.regions...)
+	sort.Slice(all, func(i, j int) bool { return all[i].SelectedSeq < all[j].SelectedSeq })
+	return all
+}
+
+// NumRegions returns the number of regions ever selected.
+func (c *Cache) NumRegions() int { return len(c.regions) + len(c.evicted) }
+
+// TotalInstrs returns the cumulative number of program instructions copied
+// into the cache — the paper's code expansion metric (§2.3).
+func (c *Cache) TotalInstrs() int { return c.totalInstrs }
+
+// TotalStubs returns the cumulative number of exit stubs created.
+func (c *Cache) TotalStubs() int { return c.totalStubs }
+
+// EstimatedBytes returns the paper's cache-size estimate over all regions
+// ever selected: instruction bytes plus StubBytes per stub (§4.3.4).
+func (c *Cache) EstimatedBytes() int { return c.totalCodeBytes + c.totalStubs*StubBytes }
+
+// Flushes returns how many times the bounded cache flushed (zero when
+// unbounded).
+func (c *Cache) Flushes() int { return c.flushes }
+
+// Program returns the program this cache serves.
+func (c *Cache) Program() *program.Program { return c.prog }
+
+// CountLinks counts exit directions of live regions whose target is
+// another live region's entry: the inter-region links a Dynamo-style
+// system patches into exit stubs. The paper's footnote 9 ignores the
+// memory such links need but argues its algorithms reduce their number.
+func (c *Cache) CountLinks() int {
+	links := 0
+	for _, r := range c.regions {
+		for i, b := range r.Blocks {
+			internal := make(map[isa.Addr]bool, len(r.Succs[i]))
+			for _, s := range r.Succs[i] {
+				internal[r.Blocks[s].Start] = true
+			}
+			end := b.Start + isa.Addr(b.Len)
+			last := c.prog.At(end - 1)
+			countDir := func(tgt isa.Addr) {
+				if !internal[tgt] && c.HasEntry(tgt) && tgt != r.Entry {
+					links++
+				}
+			}
+			switch {
+			case last.Op == isa.Halt:
+			case last.Op == isa.Br:
+				countDir(last.Target)
+				countDir(end)
+			case last.Op == isa.Jmp || last.Op == isa.Call:
+				countDir(last.Target)
+			case last.IsIndirect():
+				// Indirect exits dispatch dynamically; no static link.
+			default:
+				countDir(end)
+			}
+		}
+	}
+	return links
+}

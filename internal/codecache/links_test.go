@@ -1,0 +1,91 @@
+package codecache
+
+import "testing"
+
+func TestKindString(t *testing.T) {
+	if KindTrace.String() != "trace" || KindMultipath.String() != "multipath" {
+		t.Error("kind names")
+	}
+}
+
+func TestRegionAccessors(t *testing.T) {
+	p := testProgram(t)
+	c := New(p)
+	r, err := c.Insert(Spec{
+		Entry:  0,
+		Kind:   KindTrace,
+		Blocks: []BlockSpec{blockSpec(p, 0), blockSpec(p, 4)},
+		Cyclic: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumBlocks() != 2 {
+		t.Errorf("NumBlocks = %d", r.NumBlocks())
+	}
+	if r.BlockIndex(4) != 1 || r.BlockIndex(2) != -1 {
+		t.Error("BlockIndex")
+	}
+	if !r.Contains(0) || r.Contains(2) {
+		t.Error("Contains")
+	}
+	if len(c.Regions()) != 1 {
+		t.Error("Regions")
+	}
+	if c.EstimatedBytes() != r.EstimatedBytes() {
+		t.Error("EstimatedBytes")
+	}
+	if c.Program() != p {
+		t.Error("Program")
+	}
+}
+
+func TestCountLinks(t *testing.T) {
+	p := testProgram(t)
+	c := New(p)
+	// Region 1: trace A,C cyclic. Its exits: A's fall-through to B (2) and
+	// C's fall-through to D (6).
+	if _, err := c.Insert(Spec{
+		Entry:  0,
+		Kind:   KindTrace,
+		Blocks: []BlockSpec{blockSpec(p, 0), blockSpec(p, 4)},
+		Cyclic: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CountLinks(); got != 0 {
+		t.Fatalf("links with one region = %d", got)
+	}
+	// Region 2 at D (6): now region 1's exit to 6 is a link, and region
+	// 2's exit (the call to 9) targets nothing cached.
+	if _, err := c.Insert(Spec{
+		Entry:  6,
+		Kind:   KindTrace,
+		Blocks: []BlockSpec{blockSpec(p, 6)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CountLinks(); got != 1 {
+		t.Errorf("links = %d, want 1", got)
+	}
+	// Region 3 at B (2): A's other exit direction becomes a link too, and
+	// B's jmp to 6 links to region 2.
+	if _, err := c.Insert(Spec{
+		Entry:  2,
+		Kind:   KindTrace,
+		Blocks: []BlockSpec{blockSpec(p, 2)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CountLinks(); got != 3 {
+		t.Errorf("links = %d, want 3", got)
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	p := testProgram(t)
+	c := New(p)
+	if r, ok := c.Lookup(0); ok || r != nil {
+		t.Error("Lookup on empty cache")
+	}
+}

@@ -1,0 +1,80 @@
+package codecache
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Persistent code caches — serializing selected regions so a later run of
+// the same program starts warm — are a natural extension of the paper's
+// setting (and the subject of follow-on work on code-cache persistence).
+// A Snapshot captures exactly the selection decisions, not execution
+// statistics: restoring replays the selections into a fresh cache.
+
+// RegionSnapshot is the serializable form of one selected region.
+type RegionSnapshot struct {
+	Entry  isa.Addr    `json:"entry"`
+	Kind   Kind        `json:"kind"`
+	Blocks []BlockSpec `json:"blocks"`
+	Succs  [][]int     `json:"succs,omitempty"`
+	Cyclic bool        `json:"cyclic"`
+}
+
+// Snapshot captures the live regions in selection order.
+func (c *Cache) Snapshot() []RegionSnapshot {
+	out := make([]RegionSnapshot, 0, len(c.regions))
+	for _, r := range c.regions {
+		s := RegionSnapshot{
+			Entry:  r.Entry,
+			Kind:   r.Kind,
+			Blocks: append([]BlockSpec(nil), r.Blocks...),
+			Cyclic: r.Cyclic,
+		}
+		if r.Kind == KindMultipath {
+			s.Succs = make([][]int, len(r.Succs))
+			for i, ss := range r.Succs {
+				s.Succs[i] = append([]int(nil), ss...)
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Restore inserts every snapshotted region into the cache. The cache must
+// serve the same program the snapshot was taken from; block-shape
+// validation catches mismatches.
+func (c *Cache) Restore(snaps []RegionSnapshot) error {
+	for i, s := range snaps {
+		spec := Spec{
+			Entry:  s.Entry,
+			Kind:   s.Kind,
+			Blocks: s.Blocks,
+			Succs:  s.Succs,
+			Cyclic: s.Cyclic,
+		}
+		if _, err := c.Insert(spec); err != nil {
+			return fmt.Errorf("codecache: restoring region %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// WriteSnapshot serializes the live regions as JSON.
+func (c *Cache) WriteSnapshot(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(c.Snapshot())
+}
+
+// ReadSnapshot parses a snapshot previously written with WriteSnapshot.
+func ReadSnapshot(r io.Reader) ([]RegionSnapshot, error) {
+	var snaps []RegionSnapshot
+	if err := json.NewDecoder(r).Decode(&snaps); err != nil {
+		return nil, fmt.Errorf("codecache: parsing snapshot: %w", err)
+	}
+	return snaps, nil
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/profile"
+)
+
+// BaseAlgorithm selects which trace-selection algorithm trace combination
+// layers on (paper §4: combination "does not depend on how traces are
+// selected").
+type BaseAlgorithm uint8
+
+const (
+	// BaseNET builds combined regions from next-executing-tail traces.
+	BaseNET BaseAlgorithm = iota
+	// BaseLEI builds combined regions from last-executed-iteration traces.
+	BaseLEI
+)
+
+// Combiner implements trace combination (paper §4.2, Figure 13). It lowers
+// the base algorithm's selection threshold to T_start, records the traces
+// observed for the next T_prof qualifying executions of the target in the
+// compact form of Figure 14, and then combines them: blocks appearing in at
+// least T_min observed traces are kept, rejoining paths are added
+// (Figure 15), exits targeting member blocks become internal edges, and the
+// multi-path region is promoted to the code cache.
+//
+// Thresholds follow the paper's comparability rule: regions are selected
+// after the same number of interpreted executions as under the base
+// algorithm, so T_start = baseThreshold − T_prof (35 for NET, 20 for LEI).
+type Combiner struct {
+	params   Params
+	base     BaseAlgorithm
+	tStart   int
+	counters *profile.CounterPool
+
+	// Observed-trace storage, per profiled target.
+	observed   map[isa.Addr][]CompactTrace
+	curBytes   int
+	highBytes  int
+	nObserved  uint64
+	iterations [3]uint64 // MarkRejoiningPaths iteration histogram: 0, 1, 2+
+
+	// NET base: in-flight tail recordings and targets awaiting their final
+	// recording before combination.
+	recording map[isa.Addr]*tailRecorder
+	order     []isa.Addr
+	combining map[isa.Addr]bool
+
+	// LEI base.
+	buf *profile.HistoryBuffer
+}
+
+// NewCombiner returns a trace-combination selector over the base algorithm.
+func NewCombiner(base BaseAlgorithm, params Params) *Combiner {
+	params = params.withDefaults()
+	c := &Combiner{
+		params:    params,
+		base:      base,
+		counters:  profile.NewCounterPool(),
+		observed:  make(map[isa.Addr][]CompactTrace),
+		recording: make(map[isa.Addr]*tailRecorder),
+		combining: make(map[isa.Addr]bool),
+	}
+	switch base {
+	case BaseNET:
+		c.tStart = params.NETThreshold - params.TProf
+	case BaseLEI:
+		c.tStart = params.LEIThreshold - params.TProf
+		c.buf = profile.NewHistoryBuffer(params.HistoryCap)
+	}
+	if c.tStart < 1 {
+		c.tStart = 1
+	}
+	return c
+}
+
+// Name implements Selector.
+func (c *Combiner) Name() string {
+	if c.base == BaseNET {
+		return "net+comb"
+	}
+	return "lei+comb"
+}
+
+// TStart returns the profiling-start threshold in use.
+func (c *Combiner) TStart() int { return c.tStart }
+
+// Transfer implements Selector.
+func (c *Combiner) Transfer(env Env, ev Event) {
+	if c.base == BaseNET {
+		c.feedRecorders(env, ev)
+		if !ev.Taken || ev.ToCache {
+			return
+		}
+		if ev.Backward() {
+			c.qualifyNET(env, ev)
+		}
+		return
+	}
+	c.transferLEI(env, ev)
+}
+
+// CacheExit implements Selector.
+func (c *Combiner) CacheExit(env Env, src, tgt isa.Addr) {
+	if c.base == BaseNET {
+		c.qualifyNET(env, Event{Tgt: tgt, Taken: true})
+		return
+	}
+	c.observeLEI(env, src, tgt, profile.KindExit)
+}
+
+// qualifyNET counts a qualifying execution of a potential trace entrance
+// under the NET rules and drives the Figure 13 state machine.
+func (c *Combiner) qualifyNET(env Env, ev Event) {
+	tgt := ev.Tgt
+	if c.combining[tgt] {
+		return
+	}
+	if env.Cache().HasEntry(tgt) {
+		// A region with this entry was inserted during this very event
+		// (e.g. by a recording that just completed); control enters the
+		// cache instead of being profiled.
+		return
+	}
+	n := c.counters.Incr(tgt)
+	if n > c.tStart {
+		if _, active := c.recording[tgt]; !active {
+			c.recording[tgt] = newTailRecorder(env.Program(), tgt, c.params.MaxTraceInstrs, c.params.MaxTraceBlocks)
+			c.order = append(c.order, tgt)
+		}
+	}
+	if n >= c.tStart+c.params.TProf {
+		c.counters.Release(tgt)
+		c.combining[tgt] = true
+		if _, active := c.recording[tgt]; !active {
+			c.finalize(env, tgt)
+		}
+	}
+}
+
+// feedRecorders advances active observed-trace recordings; completed ones
+// are stored compactly, and a target whose final recording just completed
+// is combined.
+func (c *Combiner) feedRecorders(env Env, ev Event) {
+	if len(c.recording) == 0 {
+		return
+	}
+	kept := c.order[:0]
+	for _, head := range c.order {
+		r := c.recording[head]
+		if !r.feed(ev) {
+			kept = append(kept, head)
+			continue
+		}
+		delete(c.recording, head)
+		c.store(head, encodeTrace(r.branches, r.lastAddr))
+		if c.combining[head] {
+			c.finalize(env, head)
+		}
+	}
+	c.order = kept
+}
+
+// transferLEI is the LEI-based variant: cycles are detected exactly as in
+// plain LEI, but once the counter passes T_start each completed cycle's
+// path is stored as an observed trace, and at T_start+T_prof the stored
+// traces are combined.
+func (c *Combiner) transferLEI(env Env, ev Event) {
+	if !ev.Taken {
+		return
+	}
+	if ev.ToCache {
+		c.buf.Insert(ev.Src, ev.Tgt, profile.KindEnter)
+		return
+	}
+	c.observeLEI(env, ev.Src, ev.Tgt, profile.KindInterp)
+}
+
+// observeLEI runs the LEI cycle logic for one recorded transfer and drives
+// the Figure 13 state machine on qualifying cycles.
+func (c *Combiner) observeLEI(env Env, src, tgt isa.Addr, kind profile.EntryKind) {
+	old, completed := leiCycleParams(c.buf, src, tgt, kind, c.params)
+	if !completed {
+		return
+	}
+	n := c.counters.Incr(tgt)
+	if n <= c.tStart {
+		return
+	}
+	if spec, outcomes, formed := formLEITrace(env.Program(), env.Cache(), c.buf, tgt, old, c.params); formed {
+		lastBlock := spec.Blocks[len(spec.Blocks)-1]
+		lastAddr := lastBlock.Start + isa.Addr(lastBlock.Len) - 1
+		c.store(tgt, encodeTrace(outcomes, lastAddr))
+	}
+	if n >= c.tStart+c.params.TProf {
+		c.counters.Release(tgt)
+		c.buf.TruncateAfter(old)
+		c.finalize(env, tgt)
+	}
+}
+
+// store records one observed trace for the target and maintains the
+// Figure 18 memory accounting.
+func (c *Combiner) store(tgt isa.Addr, ct CompactTrace) {
+	c.observed[tgt] = append(c.observed[tgt], ct)
+	c.curBytes += ct.Bytes()
+	if c.curBytes > c.highBytes {
+		c.highBytes = c.curBytes
+	}
+	c.nObserved++
+}
+
+// finalize combines the observed traces for head and promotes the region.
+func (c *Combiner) finalize(env Env, head isa.Addr) {
+	delete(c.combining, head)
+	traces := c.observed[head]
+	delete(c.observed, head)
+	for _, t := range traces {
+		c.curBytes -= t.Bytes()
+	}
+	if len(traces) == 0 {
+		return
+	}
+	g := NewRegionCFG(head)
+	for _, ct := range traces {
+		blocks, closing, hasClosing, err := ct.Decode(env.Program(), head)
+		if err != nil {
+			env.Fail(errors.Join(fmt.Errorf("combiner: decoding observed trace at %d", head), err))
+			return
+		}
+		if len(blocks) == 0 {
+			continue
+		}
+		if err := g.AddTrace(blocks, closing, hasClosing); err != nil {
+			env.Fail(err)
+			return
+		}
+	}
+	if g.NumBlocks() == 0 {
+		return
+	}
+	g.MarkFrequent(c.params.TMin)
+	if !c.params.AblateRejoinPaths {
+		iters := g.MarkRejoiningPaths()
+		if iters > 2 {
+			iters = 2
+		}
+		c.iterations[iters]++
+	}
+	spec, ok := g.BuildSpec(env.Program())
+	if !ok {
+		return
+	}
+	if env.Cache().HasEntry(spec.Entry) {
+		return
+	}
+	if _, err := env.Insert(spec); err != nil {
+		env.Fail(errors.Join(errors.New("combiner: inserting region"), err))
+	}
+}
+
+// Stats implements Selector.
+func (c *Combiner) Stats() ProfileStats {
+	s := ProfileStats{
+		CountersHighWater:      c.counters.HighWater(),
+		CounterAllocs:          c.counters.Allocations(),
+		ObservedBytesHighWater: c.highBytes,
+		ObservedTraces:         c.nObserved,
+	}
+	if c.buf != nil {
+		s.HistoryCap = c.buf.Cap()
+	}
+	return s
+}
+
+// RejoinIterations returns how many region combinations needed zero, one,
+// or two-plus marking iterations in MarkRejoiningPaths, reproducing the
+// paper's §4.2.3 observation.
+func (c *Combiner) RejoinIterations() [3]uint64 { return c.iterations }

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/codecache"
+	"repro/internal/profile"
+)
+
+func TestCombinerThresholdMath(t *testing.T) {
+	// The paper's comparability rule: regions are selected after the same
+	// number of interpreted executions as the base algorithm, so combined
+	// NET starts profiling at 50-15=35 and combined LEI at 35-15=20.
+	p := DefaultParams()
+	if got := NewCombiner(BaseNET, p).TStart(); got != 35 {
+		t.Errorf("NET T_start = %d, want 35", got)
+	}
+	if got := NewCombiner(BaseLEI, p).TStart(); got != 20 {
+		t.Errorf("LEI T_start = %d, want 20", got)
+	}
+	small := Params{NETThreshold: 5, TProf: 15}
+	if got := NewCombiner(BaseNET, small).TStart(); got != 1 {
+		t.Errorf("clamped T_start = %d, want 1", got)
+	}
+	if NewCombiner(BaseNET, p).Name() != "net+comb" || NewCombiner(BaseLEI, p).Name() != "lei+comb" {
+		t.Error("names")
+	}
+}
+
+// driveNETCombiner runs the Figure 4 shape through a NET-based combiner:
+// an unbiased branch at A (to B or C), rejoin at D, biased branch to F,
+// rejoin at G, loop back. Events alternate ABDFG / ACDFG paths.
+func TestCombinerNETUnbiasedBranch(t *testing.T) {
+	p := cfgProgram(t)
+	env := newFakeEnv(t, p)
+	params := DefaultParams()
+	params.NETThreshold = 6
+	params.TProf = 4
+	params.TMin = 2
+	c := NewCombiner(BaseNET, params)
+	if c.TStart() != 2 {
+		t.Fatalf("TStart = %d", c.TStart())
+	}
+	// Drive alternating paths; each "iteration" ends with a synthetic
+	// backward branch from G (10) to A (0) that makes A a profiled target.
+	iter := func(throughC bool) {
+		if throughC {
+			c.Transfer(env, Event{Src: 1, Tgt: 4, Taken: true})  // A -> C
+			c.Transfer(env, Event{Src: 4, Tgt: 5, Taken: false}) // C falls into D
+		} else {
+			c.Transfer(env, Event{Src: 1, Tgt: 2, Taken: false}) // A falls into B
+			c.Transfer(env, Event{Src: 3, Tgt: 5, Taken: true})  // B -> D
+		}
+		c.Transfer(env, Event{Src: 6, Tgt: 8, Taken: true})  // D -> F
+		c.Transfer(env, Event{Src: 9, Tgt: 10, Taken: true}) // F -> G
+		c.Transfer(env, Event{Src: 10, Tgt: 0, Taken: true}) // back edge
+	}
+	for i := 0; i < 8; i++ {
+		iter(i%2 == 1)
+	}
+	if env.cache.NumRegions() != 1 {
+		t.Fatalf("regions = %d, want 1", env.cache.NumRegions())
+	}
+	r := env.cache.Regions()[0]
+	if r.Kind != codecache.KindMultipath || r.Entry != 0 {
+		t.Fatalf("region = %+v", r)
+	}
+	// Both arms of the unbiased branch are present; nothing is duplicated.
+	if !r.Contains(2) || !r.Contains(4) || !r.Contains(5) || !r.Contains(8) {
+		t.Errorf("region misses blocks: %+v", r.Blocks)
+	}
+	if len(r.Blocks) != 6 {
+		t.Errorf("blocks = %+v", r.Blocks)
+	}
+	st := c.Stats()
+	if st.ObservedTraces == 0 || st.ObservedBytesHighWater == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Observed storage was freed at combination.
+	if c.curBytes != 0 {
+		t.Errorf("curBytes = %d after finalize", c.curBytes)
+	}
+}
+
+func TestCombinerLEI(t *testing.T) {
+	p := leiProgram(t)
+	env := newFakeEnv(t, p)
+	params := DefaultParams()
+	params.LEIThreshold = 6
+	params.TProf = 3
+	params.TMin = 2
+	c := NewCombiner(BaseLEI, params)
+	if c.TStart() != 3 {
+		t.Fatalf("TStart = %d", c.TStart())
+	}
+	iteration := func() {
+		c.Transfer(env, Event{Src: 4, Tgt: 7, Taken: true})
+		c.Transfer(env, Event{Src: 8, Tgt: 5, Taken: true})
+		c.Transfer(env, Event{Src: 6, Tgt: 1, Taken: true})
+	}
+	for i := 0; i < 8; i++ {
+		iteration()
+		if env.cache.NumRegions() > 0 {
+			break
+		}
+	}
+	if env.cache.NumRegions() != 1 {
+		t.Fatalf("regions = %d, want 1", env.cache.NumRegions())
+	}
+	r := env.cache.Regions()[0]
+	if r.Kind != codecache.KindMultipath {
+		t.Fatalf("kind = %v", r.Kind)
+	}
+	// The combined region covers the whole interprocedural cycle.
+	if !r.Cyclic {
+		t.Error("combined LEI region should span the cycle")
+	}
+	if len(r.Blocks) != 4 {
+		t.Errorf("blocks = %+v", r.Blocks)
+	}
+	if c.Stats().HistoryCap != params.HistoryCap {
+		t.Errorf("stats = %+v", c.Stats())
+	}
+}
+
+func TestCombinerIgnoresEnterTransfers(t *testing.T) {
+	p := leiProgram(t)
+	env := newFakeEnv(t, p)
+	c := NewCombiner(BaseLEI, DefaultParams())
+	c.Transfer(env, Event{Src: 6, Tgt: 1, Taken: true, ToCache: true})
+	if c.buf.Len() != 1 || c.buf.At(c.buf.Last()).Kind != profile.KindEnter {
+		t.Error("enter transfer not recorded as such")
+	}
+	if c.counters.Live() != 0 {
+		t.Error("enter transfer was profiled")
+	}
+}
+
+func TestCombinerNETObservedViaCacheExit(t *testing.T) {
+	p := tailProgram(t)
+	env := newFakeEnv(t, p)
+	params := DefaultParams()
+	params.NETThreshold = 17 // T_start = 2
+	params.TProf = 15
+	c := NewCombiner(BaseNET, params)
+	// Exit target 6 qualifies via CacheExit. Each exit is followed by the
+	// halt-block boundary... use block D (6..7): recordings end when an
+	// unrelated backward branch arrives.
+	for i := 0; i < 20; i++ {
+		c.CacheExit(env, 5, 6)
+		c.Transfer(env, Event{Src: 7, Tgt: 0, Taken: true})
+	}
+	// Both the exit target (6) and the backward-branch target (0) reach the
+	// combination threshold.
+	if env.cache.NumRegions() != 2 {
+		t.Fatalf("regions = %d, want 2", env.cache.NumRegions())
+	}
+	if !env.cache.HasEntry(6) {
+		t.Error("no region grown from the exit target")
+	}
+	if !env.cache.HasEntry(0) {
+		t.Error("no region at the backward-branch target")
+	}
+}
+
+func TestCombinerRejoinIterationsTracked(t *testing.T) {
+	p := cfgProgram(t)
+	env := newFakeEnv(t, p)
+	params := DefaultParams()
+	params.NETThreshold = 3
+	params.TProf = 2
+	params.TMin = 2
+	c := NewCombiner(BaseNET, params)
+	for i := 0; i < 4; i++ {
+		c.Transfer(env, Event{Src: 1, Tgt: 2, Taken: false})
+		c.Transfer(env, Event{Src: 3, Tgt: 5, Taken: true})
+		c.Transfer(env, Event{Src: 6, Tgt: 8, Taken: true})
+		c.Transfer(env, Event{Src: 9, Tgt: 10, Taken: true})
+		c.Transfer(env, Event{Src: 10, Tgt: 0, Taken: true})
+	}
+	it := c.RejoinIterations()
+	if it[0]+it[1]+it[2] == 0 {
+		t.Error("no combinations recorded")
+	}
+}

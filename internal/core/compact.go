@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/codecache"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// CompactTrace is the space-efficient observed-trace representation of
+// paper Figure 14: two bits per branch, with explicit target addresses only
+// for taken indirect branches, terminated by "00" and the address of the
+// trace's last instruction. Trace combination stores T_prof of these per
+// profiled target and decodes them only when the region is finally formed,
+// so the memory measured for Figure 18 is the byte length of these strings.
+//
+// Symbols:
+//
+//	01 <addr>  taken branch with a target not encoded in the instruction
+//	10         conditional branch, not taken
+//	11         taken branch with the target known from the instruction
+//	00 <addr>  end of trace; addr is the trace's last instruction
+type CompactTrace struct {
+	bits bitString
+}
+
+const (
+	symIndirect = 0b01
+	symNotTaken = 0b10
+	symTaken    = 0b11
+	symEnd      = 0b00
+)
+
+// addrBits is the width of explicit addresses in the encoding. The paper
+// uses the native pointer size (32 or 64 bits); our ISA addresses fit 32.
+const addrBits = 32
+
+// EncodeTrace builds the compact representation of a recorded path
+// (COMPACT-TRACE of Figure 14). head is the trace entry; branches are the
+// branch outcomes along the path in order; lastAddr is the address of the
+// final instruction.
+func encodeTrace(branches []obsBranch, lastAddr isa.Addr) CompactTrace {
+	var b bitString
+	for _, br := range branches {
+		switch {
+		case br.indirect && br.taken:
+			b.append2(symIndirect)
+			b.appendAddr(uint32(br.target))
+		case !br.taken:
+			b.append2(symNotTaken)
+		default:
+			b.append2(symTaken)
+		}
+	}
+	b.append2(symEnd)
+	b.appendAddr(uint32(lastAddr))
+	return CompactTrace{bits: b}
+}
+
+// Bytes returns the storage footprint of the compact trace.
+func (t CompactTrace) Bytes() int { return len(t.bits.data) }
+
+// Decode reconstructs the block sequence of the observed trace. The
+// decoder re-walks the program from head, consuming one symbol per branch
+// instruction encountered, exactly as the optimizer in the paper decodes
+// each instruction at most once (§4.2.1).
+//
+// When the trace ends with a taken branch (its final instruction), closing
+// reports that branch's target and hasClosing is true: the observed path's
+// final control transfer, which the CFG construction of §4.2.2 records as
+// an edge (this is how a cyclic observed trace contributes its back edge).
+func (t CompactTrace) Decode(p *program.Program, head isa.Addr) (blocks []codecache.BlockSpec, closing isa.Addr, hasClosing bool, err error) {
+	rd := bitReader{src: t.bits}
+	// Track the start of the current linear segment so the final segment
+	// can be truncated (or dropped) at the encoded end address.
+	segStart := head
+	pc := head
+	appendSeg := func(from, through isa.Addr) {
+		for b := from; ; {
+			n := p.BlockLen(b)
+			blocks = append(blocks, codecache.BlockSpec{Start: b, Len: n})
+			end := b + isa.Addr(n)
+			if end > through {
+				return
+			}
+			b = end
+		}
+	}
+	for steps := 0; ; steps++ {
+		if steps > 1<<20 {
+			return nil, 0, false, fmt.Errorf("core: compact trace decode did not terminate")
+		}
+		// Advance pc to the next symbol-consuming instruction: a branch, or
+		// a halt (where only the end marker may follow — execution cannot
+		// proceed past it, so the trace must have ended by then).
+		for !p.At(pc).IsBranch() && p.At(pc).Op != isa.Halt {
+			if !p.InRange(pc + 1) {
+				return nil, 0, false, fmt.Errorf("core: compact trace ran off program end at %d", pc)
+			}
+			pc++
+		}
+		sym, err := rd.read2()
+		if err != nil {
+			return nil, 0, false, err
+		}
+		switch sym {
+		case symEnd:
+			endAddr, err := rd.readAddr()
+			if err != nil {
+				return nil, 0, false, err
+			}
+			last := isa.Addr(endAddr)
+			// When the end address is the last instruction already
+			// recorded, the trace ended exactly at the previous taken
+			// branch and the segment opened by its target was never part
+			// of the trace. This check must precede the in-segment check:
+			// a backward taken branch (a cyclic trace) leaves the end
+			// address inside the new segment's range, and appending would
+			// fabricate a duplicate pass over the trace body. Traces never
+			// contain duplicate blocks, so the two cases cannot collide.
+			if lastRecorded(blocks) == last {
+				// The final instruction was a taken branch; segStart is the
+				// target it transferred to — the trace's closing transfer.
+				return blocks, segStart, true, nil
+			}
+			if last >= segStart && last <= pc {
+				// The trace ends inside the current segment.
+				appendSeg(segStart, last)
+				return blocks, 0, false, nil
+			}
+			return nil, 0, false, fmt.Errorf("core: compact trace end %d outside segment [%d,%d]", last, segStart, pc)
+		case symNotTaken:
+			in := p.At(pc)
+			if !in.IsConditional() {
+				return nil, 0, false, fmt.Errorf("core: not-taken symbol at non-conditional %d", pc)
+			}
+			pc++
+		case symTaken:
+			in := p.At(pc)
+			if in.IsIndirect() || !in.IsBranch() {
+				return nil, 0, false, fmt.Errorf("core: taken symbol at %d (%s)", pc, in)
+			}
+			appendSeg(segStart, pc)
+			segStart = in.Target
+			pc = in.Target
+		case symIndirect:
+			tgt, err := rd.readAddr()
+			if err != nil {
+				return nil, 0, false, err
+			}
+			if !p.At(pc).IsIndirect() {
+				return nil, 0, false, fmt.Errorf("core: indirect symbol at non-indirect %d", pc)
+			}
+			// Dynamic targets are always block leaders (the VM enforces
+			// this at execution time); a corrupt encoding is rejected here
+			// rather than walked.
+			if !p.InRange(isa.Addr(tgt)) || !p.IsBlockStart(isa.Addr(tgt)) {
+				return nil, 0, false, fmt.Errorf("core: indirect target %d is not a block leader", tgt)
+			}
+			appendSeg(segStart, pc)
+			segStart = isa.Addr(tgt)
+			pc = isa.Addr(tgt)
+		}
+	}
+}
+
+// lastRecorded returns the address of the final instruction of the decoded
+// block list, or an impossible address when empty.
+func lastRecorded(blocks []codecache.BlockSpec) isa.Addr {
+	if len(blocks) == 0 {
+		return ^isa.Addr(0)
+	}
+	b := blocks[len(blocks)-1]
+	return b.Start + isa.Addr(b.Len) - 1
+}
+
+// bitString is an append-only bit vector.
+type bitString struct {
+	data []byte
+	n    int // bits used
+}
+
+func (b *bitString) appendBit(bit uint) {
+	if b.n%8 == 0 {
+		b.data = append(b.data, 0)
+	}
+	if bit != 0 {
+		b.data[b.n/8] |= 1 << uint(7-b.n%8)
+	}
+	b.n++
+}
+
+func (b *bitString) append2(sym uint) {
+	b.appendBit(sym >> 1 & 1)
+	b.appendBit(sym & 1)
+}
+
+func (b *bitString) appendAddr(a uint32) {
+	for i := addrBits - 1; i >= 0; i-- {
+		b.appendBit(uint(a >> uint(i) & 1))
+	}
+}
+
+// Len returns the number of bits in the string.
+func (b *bitString) Len() int { return b.n }
+
+// bitReader consumes a bitString front to back.
+type bitReader struct {
+	src bitString
+	pos int
+}
+
+func (r *bitReader) readBit() (uint, error) {
+	if r.pos >= r.src.n {
+		return 0, fmt.Errorf("core: compact trace truncated at bit %d", r.pos)
+	}
+	bit := uint(r.src.data[r.pos/8] >> uint(7-r.pos%8) & 1)
+	r.pos++
+	return bit, nil
+}
+
+func (r *bitReader) read2() (uint, error) {
+	hi, err := r.readBit()
+	if err != nil {
+		return 0, err
+	}
+	lo, err := r.readBit()
+	if err != nil {
+		return 0, err
+	}
+	return hi<<1 | lo, nil
+}
+
+func (r *bitReader) readAddr() (uint32, error) {
+	var a uint32
+	for i := 0; i < addrBits; i++ {
+		bit, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		a = a<<1 | uint32(bit)
+	}
+	return a, nil
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/codecache"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// fakeEnv implements Env over a real program and cache for unit-testing
+// selectors without the full simulator.
+type fakeEnv struct {
+	t     *testing.T
+	prog  *program.Program
+	cache *codecache.Cache
+	errs  []error
+}
+
+func newFakeEnv(t *testing.T, p *program.Program) *fakeEnv {
+	return &fakeEnv{t: t, prog: p, cache: codecache.New(p)}
+}
+
+func (e *fakeEnv) Program() *program.Program { return e.prog }
+func (e *fakeEnv) Cache() *codecache.Cache   { return e.cache }
+func (e *fakeEnv) Insert(spec codecache.Spec) (*codecache.Region, error) {
+	return e.cache.Insert(spec)
+}
+func (e *fakeEnv) Fail(err error) {
+	e.errs = append(e.errs, err)
+	if e.t != nil {
+		e.t.Errorf("selector failure: %v", err)
+	}
+}
+
+// codecacheSpec builds a single-block trace spec for tests.
+func codecacheSpec(p *program.Program, start isa.Addr) codecache.Spec {
+	return codecache.Spec{
+		Entry:  start,
+		Kind:   codecache.KindTrace,
+		Blocks: []codecache.BlockSpec{{Start: start, Len: p.BlockLen(start)}},
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/program"
+	"repro/internal/workloads"
+)
+
+// FuzzCompactDecode: arbitrary bitstrings must never panic the Figure 14
+// decoder — it either reconstructs a block path or reports an error.
+func FuzzCompactDecode(f *testing.F) {
+	progs := []*program.Program{
+		workloads.MustGet("gcc").Build(1),
+		workloads.MustGet("mcf").Build(1),
+		workloads.Random(workloads.GenConfig{Seed: 3, Funcs: 3}),
+	}
+	// Seed with a genuine encoding.
+	outcomes := []obsBranch{{addr: 5, taken: false}}
+	ct := encodeTrace(outcomes, 5)
+	f.Add(ct.bits.data, uint8(ct.bits.n%8), uint16(0), uint8(0))
+	f.Add([]byte{0x00}, uint8(0), uint16(3), uint8(1))
+	f.Add([]byte{0xFF, 0x00, 0x12, 0x34}, uint8(3), uint16(9), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, spareBits uint8, headIdx uint16, progIdx uint8) {
+		p := progs[int(progIdx)%len(progs)]
+		leaders := p.BlockStarts()
+		head := leaders[int(headIdx)%len(leaders)]
+		n := len(data)*8 - int(spareBits%8)
+		if n < 0 {
+			n = 0
+		}
+		ct := CompactTrace{bits: bitString{data: data, n: n}}
+		blocks, _, _, err := ct.Decode(p, head)
+		if err != nil {
+			return
+		}
+		// Anything accepted must be a plausible block path starting at head.
+		if len(blocks) == 0 || blocks[0].Start != head {
+			t.Fatalf("decode accepted a path not starting at head: %v", blocks)
+		}
+		for _, b := range blocks {
+			if !p.IsBlockStart(b.Start) || p.BlockLen(b.Start) != b.Len {
+				t.Fatalf("decode produced a non-block: %+v", b)
+			}
+		}
+	})
+}

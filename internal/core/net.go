@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/codecache"
+	"repro/internal/isa"
+	"repro/internal/profile"
+)
+
+// NET implements Next-Executing Tail trace selection, the mechanism used by
+// Dynamo, DynamoRIO, and Mojo and the paper's baseline (§2.1).
+//
+// NET associates an execution counter with the target of every taken
+// backward branch and with every target of an exit from an existing trace.
+// When a counter reaches the threshold (50), the counter is recycled and
+// the path executed next is recorded as a trace.
+type NET struct {
+	params   Params
+	counters *profile.CounterPool
+	// recording maps a head address to its active tail recorder. Multiple
+	// heads can record concurrently when a second target reaches its
+	// threshold while an earlier recording is still extending.
+	recording map[isa.Addr]*tailRecorder
+	order     []isa.Addr // deterministic iteration order for recording
+
+	// exitThreshold optionally gives exit-stub targets a lower threshold
+	// than backward-branch targets, the Mojo variant discussed in §5.
+	// Zero means "same as NETThreshold".
+	exitThreshold int
+	exitTargets   map[isa.Addr]bool
+}
+
+// NewNET returns a NET selector with the given parameters.
+func NewNET(params Params) *NET {
+	return &NET{
+		params:    params.withDefaults(),
+		counters:  profile.NewCounterPool(),
+		recording: make(map[isa.Addr]*tailRecorder),
+	}
+}
+
+// NewMojoNET returns the Mojo variant of NET (§5): backward-branch targets
+// use the standard threshold while trace-exit targets use the lower
+// exitThreshold, reducing the delay before a related trace is selected.
+func NewMojoNET(params Params, exitThreshold int) *NET {
+	n := NewNET(params)
+	n.exitThreshold = exitThreshold
+	n.exitTargets = make(map[isa.Addr]bool)
+	return n
+}
+
+// Name implements Selector.
+func (n *NET) Name() string {
+	if n.exitThreshold > 0 {
+		return "mojo-net"
+	}
+	return "net"
+}
+
+// Transfer implements Selector.
+func (n *NET) Transfer(env Env, ev Event) {
+	n.feedRecorders(env, ev)
+	if !ev.Taken || ev.ToCache {
+		return
+	}
+	if ev.Backward() {
+		n.bump(env, ev.Tgt)
+	}
+}
+
+// CacheExit implements Selector. The target of a trace exit is allowed to
+// begin a trace, so each exit to the interpreter counts an execution of its
+// target.
+func (n *NET) CacheExit(env Env, _, tgt isa.Addr) {
+	if n.exitTargets != nil {
+		n.exitTargets[tgt] = true
+	}
+	n.bump(env, tgt)
+}
+
+func (n *NET) threshold(addr isa.Addr) int {
+	if n.exitThreshold > 0 && n.exitTargets[addr] {
+		return n.exitThreshold
+	}
+	return n.params.NETThreshold
+}
+
+func (n *NET) bump(env Env, tgt isa.Addr) {
+	if _, active := n.recording[tgt]; active {
+		return
+	}
+	// The event that completes a recording can itself target the freshly
+	// inserted trace head (a cyclic trace closed by this very branch);
+	// control jumps into the cache rather than being profiled.
+	if env.Cache().HasEntry(tgt) {
+		return
+	}
+	if n.counters.Incr(tgt) < n.threshold(tgt) {
+		return
+	}
+	n.counters.Release(tgt)
+	if n.exitTargets != nil {
+		delete(n.exitTargets, tgt)
+	}
+	rec := newTailRecorder(env.Program(), tgt, n.params.MaxTraceInstrs, n.params.MaxTraceBlocks)
+	rec.crossBackward = n.params.AblateNETBackwardStop
+	n.recording[tgt] = rec
+	n.order = append(n.order, tgt)
+}
+
+// feedRecorders advances every active recording and promotes completed
+// traces to the code cache.
+func (n *NET) feedRecorders(env Env, ev Event) {
+	if len(n.recording) == 0 {
+		return
+	}
+	kept := n.order[:0]
+	for _, head := range n.order {
+		r := n.recording[head]
+		if !r.feed(ev) {
+			kept = append(kept, head)
+			continue
+		}
+		delete(n.recording, head)
+		n.insert(env, r.spec())
+	}
+	n.order = kept
+}
+
+func (n *NET) insert(env Env, spec codecache.Spec) {
+	if env.Cache().HasEntry(spec.Entry) {
+		// Another recording created a region here first; drop this one.
+		return
+	}
+	if _, err := env.Insert(spec); err != nil {
+		env.Fail(errors.Join(errors.New("net: inserting trace"), err))
+	}
+}
+
+// Stats implements Selector.
+func (n *NET) Stats() ProfileStats {
+	return ProfileStats{
+		CountersHighWater: n.counters.HighWater(),
+		CounterAllocs:     n.counters.Allocations(),
+	}
+}

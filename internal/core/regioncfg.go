@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/codecache"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// RegionCFG is the control-flow graph built from a set of observed traces
+// (paper §4.2.2). It represents only the branches actually taken in an
+// observed trace: control exits the region if any other target is taken,
+// so nothing more is needed. Each block carries the number of observed
+// traces containing it; blocks reaching the T_min occurrence threshold are
+// marked, marks are propagated backward along rejoining paths (Figure 15),
+// and the unmarked remainder is removed before the region is promoted.
+type RegionCFG struct {
+	entry  isa.Addr
+	starts []isa.Addr       // insertion-ordered block starts; starts[0] == entry
+	index  map[isa.Addr]int // start -> node id
+	lens   []int
+	succs  [][]int
+	count  []int // number of observed traces containing the block
+	marked []bool
+}
+
+// NewRegionCFG returns an empty CFG for a region entered at entry.
+func NewRegionCFG(entry isa.Addr) *RegionCFG {
+	return &RegionCFG{entry: entry, index: make(map[isa.Addr]int)}
+}
+
+// NumBlocks returns the number of blocks currently in the CFG.
+func (g *RegionCFG) NumBlocks() int { return len(g.starts) }
+
+// Count returns the observed-trace occurrence count of the block at start,
+// or 0 when the block is absent.
+func (g *RegionCFG) Count(start isa.Addr) int {
+	i, ok := g.index[start]
+	if !ok {
+		return 0
+	}
+	return g.count[i]
+}
+
+// Marked reports whether the block at start is currently marked.
+func (g *RegionCFG) Marked(start isa.Addr) bool {
+	i, ok := g.index[start]
+	return ok && g.marked[i]
+}
+
+func (g *RegionCFG) node(start isa.Addr, length int) int {
+	if i, ok := g.index[start]; ok {
+		return i
+	}
+	i := len(g.starts)
+	g.index[start] = i
+	g.starts = append(g.starts, start)
+	g.lens = append(g.lens, length)
+	g.succs = append(g.succs, nil)
+	g.count = append(g.count, 0)
+	g.marked = append(g.marked, false)
+	return i
+}
+
+func (g *RegionCFG) addEdge(from, to int) {
+	for _, s := range g.succs[from] {
+		if s == to {
+			return
+		}
+	}
+	g.succs[from] = append(g.succs[from], to)
+}
+
+// AddTrace merges one observed trace — a block path starting at the
+// region's entry — into the CFG, incrementing each distinct block's
+// occurrence count once. When the trace ended with a taken branch, closing
+// is that branch's target: if it names a block already in the CFG, the
+// transfer becomes an edge (this is how a cyclic observed trace records its
+// back edge, §4.2.2); otherwise the transfer left the observed region and
+// is not an edge. Pass hasClosing=false when the trace ended by falling
+// off its last block.
+func (g *RegionCFG) AddTrace(blocks []codecache.BlockSpec, closing isa.Addr, hasClosing bool) error {
+	if len(blocks) == 0 {
+		return fmt.Errorf("core: empty observed trace")
+	}
+	if blocks[0].Start != g.entry {
+		return fmt.Errorf("core: observed trace starts at %d, region entry is %d", blocks[0].Start, g.entry)
+	}
+	seen := make(map[int]bool, len(blocks))
+	prev := -1
+	for _, b := range blocks {
+		id := g.node(b.Start, b.Len)
+		if !seen[id] {
+			seen[id] = true
+			g.count[id]++
+		}
+		if prev >= 0 {
+			g.addEdge(prev, id)
+		}
+		prev = id
+	}
+	if hasClosing {
+		if to, ok := g.index[closing]; ok {
+			g.addEdge(prev, to)
+		}
+	}
+	return nil
+}
+
+// MarkFrequent marks every block that appears in at least tmin observed
+// traces (Figure 13, line 13). The entry block is always marked: all
+// observed traces begin there, so its count equals the number of traces.
+func (g *RegionCFG) MarkFrequent(tmin int) {
+	for i := range g.marked {
+		g.marked[i] = g.count[i] >= tmin
+	}
+	if len(g.marked) > 0 {
+		g.marked[0] = true
+	}
+}
+
+// MarkRejoiningPaths propagates marks backward along every path: a block
+// with a marked successor is marked (paper Figure 15). Blocks are visited
+// in post order so marks flow through multiple blocks per iteration; the
+// loop repeats until an iteration marks nothing, which in practice almost
+// always means a single extra pass (§4.2.3). It returns the number of
+// iterations that marked at least one block, for the paper's observation
+// that roughly 0.1% of regions need a second pass.
+func (g *RegionCFG) MarkRejoiningPaths() int {
+	order := g.postOrder()
+	markingIters := 0
+	for {
+		markedAny := false
+		for _, i := range order {
+			if g.marked[i] {
+				continue
+			}
+			for _, s := range g.succs[i] {
+				if g.marked[s] {
+					g.marked[i] = true
+					markedAny = true
+					break
+				}
+			}
+		}
+		if !markedAny {
+			return markingIters
+		}
+		markingIters++
+	}
+}
+
+// postOrder returns a depth-first post order from the entry. Successors are
+// visited in edge-insertion order, which is deterministic.
+func (g *RegionCFG) postOrder() []int {
+	visited := make([]bool, len(g.starts))
+	order := make([]int, 0, len(g.starts))
+	var dfs func(int)
+	dfs = func(i int) {
+		visited[i] = true
+		for _, s := range g.succs[i] {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		order = append(order, i)
+	}
+	if len(g.starts) > 0 {
+		dfs(0)
+	}
+	// Nodes unreachable from the entry cannot exist (every trace starts at
+	// the entry), but stay safe.
+	for i := range g.starts {
+		if !visited[i] {
+			order = append(order, i)
+		}
+	}
+	return order
+}
+
+// BuildSpec removes all unmarked blocks (Figure 13, line 15), converts any
+// exit that targets a remaining block into an internal edge (line 16), and
+// returns the multipath region specification. ok is false when nothing
+// beyond an empty region remains, which cannot happen after MarkFrequent
+// (the entry is always marked) but is reported rather than trusted.
+func (g *RegionCFG) BuildSpec(p *program.Program) (spec codecache.Spec, ok bool) {
+	remap := make([]int, len(g.starts))
+	var blocks []codecache.BlockSpec
+	for i, start := range g.starts {
+		if !g.marked[i] {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = len(blocks)
+		blocks = append(blocks, codecache.BlockSpec{Start: start, Len: g.lens[i]})
+	}
+	if len(blocks) == 0 {
+		return codecache.Spec{}, false
+	}
+	succs := make([][]int, len(blocks))
+	memberIdx := make(map[isa.Addr]int, len(blocks))
+	for i, b := range blocks {
+		memberIdx[b.Start] = i
+	}
+	addSucc := func(from, to int) {
+		for _, s := range succs[from] {
+			if s == to {
+				return
+			}
+		}
+		succs[from] = append(succs[from], to)
+	}
+	// Observed edges between marked blocks survive.
+	for i := range g.starts {
+		if remap[i] < 0 {
+			continue
+		}
+		for _, s := range g.succs[i] {
+			if remap[s] >= 0 {
+				addSucc(remap[i], remap[s])
+			}
+		}
+	}
+	// Figure 13 line 16: any exit whose target is a member block becomes a
+	// direct edge, so control stays in the region and no stub is needed.
+	for i, b := range blocks {
+		end := b.Start + isa.Addr(b.Len)
+		last := p.At(end - 1)
+		if last.Op == isa.Br || last.Op == isa.Jmp || last.Op == isa.Call {
+			if to, in := memberIdx[last.Target]; in {
+				addSucc(i, to)
+			}
+		}
+		if !last.EndsBlock() || last.Op == isa.Br {
+			if to, in := memberIdx[end]; in {
+				addSucc(i, to)
+			}
+		}
+	}
+	return codecache.Spec{
+		Entry:  g.entry,
+		Kind:   codecache.KindMultipath,
+		Blocks: blocks,
+		Succs:  succs,
+	}, true
+}

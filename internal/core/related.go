@@ -1,0 +1,311 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/codecache"
+	"repro/internal/isa"
+	"repro/internal/profile"
+)
+
+// This file implements simplified versions of the other trace-selection
+// schemes the paper surveys in §5, so the related-work comparison can be
+// run head-to-head:
+//
+//   - BOA (IBM): during emulation, every conditional branch carries
+//     per-direction counters; after an entry point is emulated 15 times, a
+//     trace is selected by statically following each branch's most
+//     frequent direction.
+//   - Wiggins/Redstone (Compaq): the program counter is sampled
+//     periodically to find trace starts; from a start, instrumentation
+//     tallies each branch's targets over several executions and the trace
+//     follows the most frequent target of each selected branch.
+//
+// Both profile more branches than NET in the hope of picking better
+// traces. The paper's point — which the "related" experiment reproduces —
+// is that however carefully a single path is chosen, the problems of trace
+// separation and excessive code duplication remain.
+
+// dirCounts tallies outcomes of one branch: [not-taken, taken] for
+// conditionals, or per-target counts for indirect branches.
+type dirCounts struct {
+	notTaken uint64
+	taken    uint64
+	targets  map[isa.Addr]uint64
+}
+
+func (d *dirCounts) observe(taken bool, indirect bool, tgt isa.Addr) {
+	if !taken {
+		d.notTaken++
+		return
+	}
+	d.taken++
+	if indirect {
+		if d.targets == nil {
+			d.targets = map[isa.Addr]uint64{}
+		}
+		d.targets[tgt]++
+	}
+}
+
+// hotTarget returns the branch's most frequent resolution: whether it is
+// mostly taken and, for indirect branches, the dominant target.
+func (d *dirCounts) hot(in isa.Instr) (taken bool, tgt isa.Addr, ok bool) {
+	if in.IsConditional() {
+		if d.taken == 0 && d.notTaken == 0 {
+			return false, 0, false
+		}
+		if d.taken >= d.notTaken {
+			return true, in.Target, true
+		}
+		return false, 0, true
+	}
+	if in.IsIndirect() {
+		var best isa.Addr
+		var n uint64
+		for t, c := range d.targets {
+			if c > n || (c == n && t < best) {
+				best, n = t, c
+			}
+		}
+		if n == 0 {
+			return false, 0, false
+		}
+		return true, best, true
+	}
+	return true, in.Target, true
+}
+
+// BOA implements the IBM Binary-translated Optimization Architecture's
+// selection scheme as described in §5.
+type BOA struct {
+	params    Params
+	threshold int
+	entries   *profile.CounterPool
+	branches  map[isa.Addr]*dirCounts
+}
+
+// NewBOA returns a BOA selector. The paper reports BOA selects after an
+// entry is emulated 15 times.
+func NewBOA(params Params) *BOA {
+	return &BOA{
+		params:    params.withDefaults(),
+		threshold: 15,
+		entries:   profile.NewCounterPool(),
+		branches:  map[isa.Addr]*dirCounts{},
+	}
+}
+
+// Name implements Selector.
+func (b *BOA) Name() string { return "boa" }
+
+// Transfer implements Selector.
+func (b *BOA) Transfer(env Env, ev Event) {
+	in := env.Program().At(ev.Src)
+	if in.IsConditional() || in.IsIndirect() {
+		d := b.branches[ev.Src]
+		if d == nil {
+			d = &dirCounts{}
+			b.branches[ev.Src] = d
+		}
+		d.observe(ev.Taken, in.IsIndirect(), ev.Tgt)
+	}
+	if !ev.Taken || ev.ToCache || !ev.Backward() {
+		return
+	}
+	b.qualify(env, ev.Tgt)
+}
+
+// CacheExit implements Selector: exit targets may also begin traces.
+func (b *BOA) CacheExit(env Env, _, tgt isa.Addr) { b.qualify(env, tgt) }
+
+func (b *BOA) qualify(env Env, tgt isa.Addr) {
+	if env.Cache().HasEntry(tgt) {
+		return
+	}
+	if b.entries.Incr(tgt) < b.threshold {
+		return
+	}
+	b.entries.Release(tgt)
+	if spec, ok := followHot(env, tgt, b.branches, b.params); ok {
+		if _, err := env.Insert(spec); err != nil {
+			env.Fail(errors.Join(errors.New("boa: inserting trace"), err))
+		}
+	}
+}
+
+// Stats implements Selector.
+func (b *BOA) Stats() ProfileStats {
+	return ProfileStats{
+		CountersHighWater: b.entries.HighWater() + len(b.branches),
+		CounterAllocs:     b.entries.Allocations() + uint64(len(b.branches)),
+	}
+}
+
+// followHot forms a trace from entry by following each branch's most
+// frequent direction, stopping at unprofiled branches, cached regions,
+// revisited blocks, halts, or the size limits.
+func followHot(env Env, entry isa.Addr, branches map[isa.Addr]*dirCounts, params Params) (codecache.Spec, bool) {
+	p := env.Program()
+	var blocks []codecache.BlockSpec
+	seen := map[isa.Addr]bool{}
+	instrs := 0
+	cyclic := false
+	cur := entry
+	for len(blocks) < params.MaxTraceBlocks {
+		if seen[cur] {
+			cyclic = cur == entry
+			break
+		}
+		if len(blocks) > 0 && env.Cache().HasEntry(cur) {
+			break
+		}
+		n := p.BlockLen(cur)
+		if instrs+n > params.MaxTraceInstrs {
+			break
+		}
+		blocks = append(blocks, codecache.BlockSpec{Start: cur, Len: n})
+		seen[cur] = true
+		instrs += n
+		end := cur + isa.Addr(n)
+		last := p.At(end - 1)
+		switch {
+		case last.Op == isa.Halt:
+			return spec(entry, blocks, false), true
+		case last.Op == isa.Jmp || last.Op == isa.Call:
+			cur = last.Target
+		case last.IsConditional() || last.IsIndirect():
+			d := branches[end-1]
+			if d == nil {
+				return spec(entry, blocks, false), true
+			}
+			taken, tgt, ok := d.hot(last)
+			if !ok {
+				return spec(entry, blocks, false), true
+			}
+			if taken {
+				cur = tgt
+			} else {
+				cur = end
+			}
+		default:
+			cur = end
+		}
+	}
+	if len(blocks) == 0 {
+		return codecache.Spec{}, false
+	}
+	return spec(entry, blocks, cyclic), true
+}
+
+func spec(entry isa.Addr, blocks []codecache.BlockSpec, cyclic bool) codecache.Spec {
+	return codecache.Spec{Entry: entry, Kind: codecache.KindTrace, Blocks: blocks, Cyclic: cyclic}
+}
+
+// WRS implements a Wiggins/Redstone-style scheme (§5): periodic sampling
+// finds trace starts; a start that accumulates enough samples enters an
+// instrumentation phase during which its branch outcomes are tallied; the
+// trace then follows each branch's most frequent target.
+type WRS struct {
+	params Params
+	// SamplePeriod is the distance between samples, in interpreted taken
+	// branches.
+	SamplePeriod int
+	// SampleThreshold is the number of samples a target needs before
+	// instrumentation begins.
+	SampleThreshold int
+	// InstrumentExecs is how many executions of the start are observed
+	// before the trace is selected.
+	InstrumentExecs int
+
+	tick     uint64
+	samples  *profile.CounterPool
+	active   map[isa.Addr]*wrsInstrument
+	branches map[isa.Addr]*dirCounts // shared outcome tallies while instrumenting
+}
+
+type wrsInstrument struct {
+	execs int
+}
+
+// NewWRS returns a Wiggins/Redstone-style selector.
+func NewWRS(params Params) *WRS {
+	return &WRS{
+		params:          params.withDefaults(),
+		SamplePeriod:    31, // co-prime with loop lengths to avoid aliasing
+		SampleThreshold: 4,
+		InstrumentExecs: 16,
+		samples:         profile.NewCounterPool(),
+		active:          map[isa.Addr]*wrsInstrument{},
+		branches:        map[isa.Addr]*dirCounts{},
+	}
+}
+
+// Name implements Selector.
+func (w *WRS) Name() string { return "wrs" }
+
+// Transfer implements Selector.
+func (w *WRS) Transfer(env Env, ev Event) {
+	if !ev.Taken {
+		w.tallyIfActive(env, ev)
+		return
+	}
+	// Instrumentation tallies every transfer while any head is active.
+	w.tallyIfActive(env, ev)
+	if ev.ToCache {
+		return
+	}
+	// Count executions of instrumented heads.
+	if inst, ok := w.active[ev.Tgt]; ok {
+		inst.execs++
+		if inst.execs >= w.InstrumentExecs {
+			delete(w.active, ev.Tgt)
+			if spec, ok := followHot(env, ev.Tgt, w.branches, w.params); ok {
+				if _, err := env.Insert(spec); err != nil {
+					env.Fail(errors.Join(errors.New("wrs: inserting trace"), err))
+				}
+			}
+		}
+		return
+	}
+	// Periodic PC sampling of branch targets.
+	w.tick++
+	if w.tick%uint64(w.SamplePeriod) != 0 {
+		return
+	}
+	if env.Cache().HasEntry(ev.Tgt) {
+		return
+	}
+	if w.samples.Incr(ev.Tgt) >= w.SampleThreshold {
+		w.samples.Release(ev.Tgt)
+		w.active[ev.Tgt] = &wrsInstrument{}
+	}
+}
+
+func (w *WRS) tallyIfActive(env Env, ev Event) {
+	if len(w.active) == 0 {
+		return
+	}
+	in := env.Program().At(ev.Src)
+	if !in.IsConditional() && !in.IsIndirect() {
+		return
+	}
+	d := w.branches[ev.Src]
+	if d == nil {
+		d = &dirCounts{}
+		w.branches[ev.Src] = d
+	}
+	d.observe(ev.Taken, in.IsIndirect(), ev.Tgt)
+}
+
+// CacheExit implements Selector. Wiggins/Redstone discovers starts purely
+// by sampling, so exits need no special handling.
+func (w *WRS) CacheExit(Env, isa.Addr, isa.Addr) {}
+
+// Stats implements Selector.
+func (w *WRS) Stats() ProfileStats {
+	return ProfileStats{
+		CountersHighWater: w.samples.HighWater() + len(w.branches),
+		CounterAllocs:     w.samples.Allocations() + uint64(len(w.branches)),
+	}
+}

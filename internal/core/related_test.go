@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestDirCounts(t *testing.T) {
+	var d dirCounts
+	cond := isa.Instr{Op: isa.Br, Cond: isa.CondLt, Target: 42}
+	if _, _, ok := d.hot(cond); ok {
+		t.Error("hot with no observations")
+	}
+	d.observe(true, false, 42)
+	d.observe(true, false, 42)
+	d.observe(false, false, 0)
+	taken, tgt, ok := d.hot(cond)
+	if !ok || !taken || tgt != 42 {
+		t.Errorf("hot = %v %d %v", taken, tgt, ok)
+	}
+	d.observe(false, false, 0)
+	d.observe(false, false, 0)
+	if taken, _, _ := d.hot(cond); taken {
+		t.Error("majority flipped to not-taken but hot still taken")
+	}
+
+	var ind dirCounts
+	ret := isa.Instr{Op: isa.Ret}
+	if _, _, ok := ind.hot(ret); ok {
+		t.Error("indirect hot with no targets")
+	}
+	ind.observe(true, true, 7)
+	ind.observe(true, true, 9)
+	ind.observe(true, true, 9)
+	if _, tgt, ok := ind.hot(ret); !ok || tgt != 9 {
+		t.Errorf("indirect hot = %d, %v", tgt, ok)
+	}
+}
+
+func TestBOASelectsMajorityPath(t *testing.T) {
+	p := tailProgram(t)
+	env := newFakeEnv(t, p)
+	b := NewBOA(DefaultParams())
+	b.threshold = 3
+	// Drive the loop A-B-C with the conditional at 1 mostly not taken.
+	iteration := func() {
+		b.Transfer(env, Event{Src: 1, Tgt: 2, Taken: false})
+		b.Transfer(env, Event{Src: 3, Tgt: 4, Taken: true, Kind: 0})
+		b.Transfer(env, Event{Src: 5, Tgt: 0, Taken: true})
+	}
+	for i := 0; i < 3; i++ {
+		iteration()
+	}
+	if env.cache.NumRegions() != 1 {
+		t.Fatalf("regions = %d", env.cache.NumRegions())
+	}
+	r := env.cache.Regions()[0]
+	if r.Entry != 0 || !r.Cyclic || len(r.Blocks) != 3 {
+		t.Errorf("region = entry %d cyclic %v blocks %+v", r.Entry, r.Cyclic, r.Blocks)
+	}
+	if b.Name() != "boa" {
+		t.Error("name")
+	}
+	if b.Stats().CountersHighWater == 0 {
+		t.Error("BOA must account per-branch counters")
+	}
+}
+
+func TestBOAStopsAtUnprofiledBranch(t *testing.T) {
+	p := tailProgram(t)
+	env := newFakeEnv(t, p)
+	b := NewBOA(DefaultParams())
+	b.threshold = 1
+	// Only the backward branch observed: the trace walk from 0 stops at
+	// the unprofiled conditional ending block A.
+	b.Transfer(env, Event{Src: 5, Tgt: 0, Taken: true})
+	if env.cache.NumRegions() != 1 {
+		t.Fatalf("regions = %d", env.cache.NumRegions())
+	}
+	r := env.cache.Regions()[0]
+	if len(r.Blocks) != 1 || r.Blocks[0].Start != 0 {
+		t.Errorf("blocks = %+v", r.Blocks)
+	}
+}
+
+func TestWRSSamplesAndInstruments(t *testing.T) {
+	p := tailProgram(t)
+	env := newFakeEnv(t, p)
+	w := NewWRS(DefaultParams())
+	w.SamplePeriod = 2
+	w.SampleThreshold = 2
+	w.InstrumentExecs = 3
+	iteration := func() {
+		w.Transfer(env, Event{Src: 1, Tgt: 2, Taken: false})
+		w.Transfer(env, Event{Src: 3, Tgt: 4, Taken: true})
+		w.Transfer(env, Event{Src: 5, Tgt: 0, Taken: true})
+	}
+	for i := 0; i < 20 && env.cache.NumRegions() == 0; i++ {
+		iteration()
+	}
+	if env.cache.NumRegions() == 0 {
+		t.Fatal("WRS never selected")
+	}
+	r := env.cache.Regions()[0]
+	if r.Entry != 0 && r.Entry != 4 {
+		t.Errorf("unexpected entry %d", r.Entry)
+	}
+	if w.Name() != "wrs" {
+		t.Error("name")
+	}
+	// The instrumented trace follows observed outcomes: from 0, the
+	// conditional at 1 was always not-taken, so the trace spans the cycle.
+	if r.Entry == 0 && !r.Cyclic {
+		t.Error("instrumented trace from 0 should span the loop")
+	}
+}
+
+func TestWRSIgnoresCachedTargets(t *testing.T) {
+	p := tailProgram(t)
+	env := newFakeEnv(t, p)
+	w := NewWRS(DefaultParams())
+	w.SamplePeriod = 1
+	w.SampleThreshold = 1
+	// Pre-cache entry 0: samples of it must not start instrumentation.
+	if _, err := env.cache.Insert(codecacheSpec(p, 0)); err != nil {
+		t.Fatal(err)
+	}
+	w.Transfer(env, Event{Src: 5, Tgt: 0, Taken: true, ToCache: true})
+	if len(w.active) != 0 {
+		t.Error("cached target instrumented")
+	}
+}

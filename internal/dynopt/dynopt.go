@@ -1,0 +1,317 @@
+// Package dynopt simulates the dynamic optimization system of the paper's
+// Figure 1: a program is emulated by an interpreter while a region-selection
+// algorithm profiles its taken branches; selected regions are promoted to a
+// code cache, and subsequent execution of cached code runs "natively"
+// (attributed to the cache) until it exits back to the interpreter.
+//
+// The simulator consumes the dynamic block stream produced by the vm
+// package — the same signal the paper's Pin-based framework consumed — and
+// drives a core.Selector. All details of region selection are abstracted
+// behind that interface, exactly as in the paper's framework (§2.3,
+// footnote 4).
+package dynopt
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/codecache"
+	"repro/internal/core"
+	"repro/internal/icache"
+	"repro/internal/isa"
+	"repro/internal/metrics"
+	"repro/internal/program"
+	"repro/internal/vm"
+)
+
+// Config configures one simulation run.
+type Config struct {
+	// Selector is the region-selection algorithm under test.
+	Selector core.Selector
+	// VM bounds program interpretation.
+	VM vm.Config
+	// CacheLimitBytes bounds the code cache; zero (the paper's setup)
+	// means unbounded.
+	CacheLimitBytes int
+	// Preload restores a code-cache snapshot from a previous run of the
+	// same program before execution begins (the persistent-cache
+	// extension): the run starts warm.
+	Preload []codecache.RegionSnapshot
+	// ICache, when set, simulates an instruction cache over the code-cache
+	// layout for all execution inside regions (the locality extension):
+	// each executed block fetches its lines at its layout address.
+	ICache *icache.Cache
+	// Tracer, when set, receives simulation lifecycle events (cache
+	// enters, exits, transitions, selections) for debugging and timeline
+	// tooling. It must not mutate simulator state.
+	Tracer Tracer
+}
+
+// Tracer observes the simulated system's state machine.
+type Tracer interface {
+	// Enter fires when control moves from the interpreter into a region.
+	Enter(r *codecache.Region)
+	// Transition fires on a linked jump between regions.
+	Transition(from, to *codecache.Region)
+	// Exit fires when control returns to the interpreter at tgt.
+	Exit(r *codecache.Region, tgt isa.Addr)
+	// Selected fires when a region is promoted to the cache.
+	Selected(r *codecache.Region)
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Report carries every paper metric.
+	Report metrics.Report
+	// VMStats is the underlying interpretation summary.
+	VMStats vm.Stats
+	// Cache is the final code cache, for deeper inspection.
+	Cache *codecache.Cache
+	// Collector holds the raw execution facts.
+	Collector *metrics.Collector
+}
+
+// Simulator drives one program run under one selector. It implements both
+// vm.Sink (to consume the dynamic branch stream) and core.Env (to service
+// the selector).
+type Simulator struct {
+	prog  *program.Program
+	cache *codecache.Cache
+	sel   core.Selector
+	col   *metrics.Collector
+
+	pos      isa.Addr // leader of the block currently executing
+	region   *codecache.Region
+	blockIdx int
+	ic       *icache.Cache
+	tracer   Tracer
+	errs     []error
+}
+
+// NewSimulator prepares a run of p under cfg.
+func NewSimulator(p *program.Program, cfg Config) *Simulator {
+	var cache *codecache.Cache
+	if cfg.CacheLimitBytes > 0 {
+		cache = codecache.NewBounded(p, cfg.CacheLimitBytes)
+	} else {
+		cache = codecache.New(p)
+	}
+	return &Simulator{
+		prog:   p,
+		cache:  cache,
+		sel:    cfg.Selector,
+		col:    metrics.NewCollector(),
+		ic:     cfg.ICache,
+		tracer: cfg.Tracer,
+	}
+}
+
+// Program implements core.Env.
+func (s *Simulator) Program() *program.Program { return s.prog }
+
+// Cache implements core.Env.
+func (s *Simulator) Cache() *codecache.Cache { return s.cache }
+
+// Insert implements core.Env.
+func (s *Simulator) Insert(spec codecache.Spec) (*codecache.Region, error) {
+	r, err := s.cache.Insert(spec)
+	if err == nil && s.tracer != nil {
+		s.tracer.Selected(r)
+	}
+	return r, err
+}
+
+// Fail implements core.Env.
+func (s *Simulator) Fail(err error) { s.errs = append(s.errs, err) }
+
+// TakenBranch implements vm.Sink: execution ran linearly from the current
+// position through src, then transferred to tgt.
+func (s *Simulator) TakenBranch(src, tgt isa.Addr, kind vm.BranchKind) {
+	s.advanceTo(src)
+	s.transfer(src, tgt, true, kind)
+	s.pos = tgt
+}
+
+// advanceTo processes fall-through block boundaries until the current
+// block ends exactly at src.
+func (s *Simulator) advanceTo(src isa.Addr) {
+	for {
+		end := s.prog.BlockEnd(s.pos)
+		if end-1 == src {
+			return
+		}
+		if end-1 > src {
+			panic(fmt.Sprintf("dynopt: branch source %d inside block [%d,%d)", src, s.pos, end))
+		}
+		s.transfer(end-1, end, false, 0)
+		s.pos = end
+	}
+}
+
+// transfer handles one control transfer out of the current block.
+func (s *Simulator) transfer(src, tgt isa.Addr, taken bool, kind vm.BranchKind) {
+	blockLen := s.prog.BlockLen(s.pos)
+	inCache := s.region != nil
+	s.col.Block(blockLen, inCache)
+	s.col.Edge(s.pos, tgt)
+	if inCache {
+		s.region.ExecInstrs += uint64(blockLen)
+		if s.ic != nil {
+			s.ic.Fetch(s.region.CacheAddr+s.region.BlockByteOffset(s.blockIdx),
+				s.region.BlockBytes(s.blockIdx))
+		}
+		s.advanceRegion(src, tgt, taken)
+		return
+	}
+	if taken {
+		s.col.InterpBranches++
+	}
+	ev := core.Event{
+		Src:     src,
+		Tgt:     tgt,
+		Kind:    kind,
+		Taken:   taken,
+		ToCache: s.cache.HasEntry(tgt),
+	}
+	s.sel.Transfer(s, ev)
+	if taken {
+		// Enter the cache when the target is (or has just become) a cached
+		// region entry. Checking after the selector ran realizes Figure 5
+		// line 15: control jumps into a trace selected at this branch.
+		if r, ok := s.cache.Lookup(tgt); ok {
+			s.enter(r)
+		}
+	}
+}
+
+// advanceRegion moves execution within the current region or handles its
+// exit: a linked jump to another region (a region transition) or a return
+// to the interpreter. src is the original address of the last instruction
+// of the region block the transfer left from.
+func (s *Simulator) advanceRegion(src, tgt isa.Addr, taken bool) {
+	nextIdx, stay, cycled := s.region.Advance(s.blockIdx, tgt, taken)
+	if stay {
+		if cycled {
+			s.region.CycleTraversals++
+			s.region.Traversals++
+		}
+		s.blockIdx = nextIdx
+		return
+	}
+	s.region.Traversals++
+	if r2, ok := s.cache.Lookup(tgt); ok {
+		s.col.Transition(s.region.CacheAddr, r2.CacheAddr)
+		if s.tracer != nil {
+			s.tracer.Transition(s.region, r2)
+		}
+		s.region = r2
+		s.blockIdx = 0
+		r2.Entries++
+		return
+	}
+	if s.tracer != nil {
+		s.tracer.Exit(s.region, tgt)
+	}
+	s.region = nil
+	s.col.CacheExits++
+	s.sel.CacheExit(s, src, tgt)
+}
+
+// enter moves execution from the interpreter into region r.
+func (s *Simulator) enter(r *codecache.Region) {
+	s.region = r
+	s.blockIdx = 0
+	r.Entries++
+	s.col.CacheEnters++
+	if s.tracer != nil {
+		s.tracer.Enter(r)
+	}
+}
+
+// finish accounts the final block, which ends with the halt instruction.
+func (s *Simulator) finish(finalPC isa.Addr) {
+	for {
+		end := s.prog.BlockEnd(s.pos)
+		if end-1 >= finalPC {
+			break
+		}
+		s.transfer(end-1, end, false, 0)
+		s.pos = end
+	}
+	s.col.Block(s.prog.BlockLen(s.pos), s.region != nil)
+	if s.region != nil {
+		s.region.ExecInstrs += uint64(s.prog.BlockLen(s.pos))
+	}
+}
+
+// RunStream drives the simulator from an already-collected taken-branch
+// stream instead of interpreting the program live — the decoupling the
+// paper's Pin-based framework used. feed must push the stream into the
+// provided sink and return the run's final halt address and instruction
+// count (for cross-checking; pass 0 to skip the check).
+func RunStream(p *program.Program, cfg Config, feed func(vm.Sink) (finalPC isa.Addr, instrs uint64, err error)) (Result, error) {
+	if cfg.Selector == nil {
+		return Result{}, errors.New("dynopt: no selector configured")
+	}
+	sim := NewSimulator(p, cfg)
+	if len(cfg.Preload) > 0 {
+		if err := sim.cache.Restore(cfg.Preload); err != nil {
+			return Result{}, fmt.Errorf("dynopt: preloading cache: %w", err)
+		}
+	}
+	finalPC, instrs, err := feed(sim)
+	if err != nil {
+		return Result{}, fmt.Errorf("dynopt: streaming: %w", err)
+	}
+	sim.finish(finalPC)
+	if len(sim.errs) > 0 {
+		return Result{}, errors.Join(sim.errs...)
+	}
+	if instrs != 0 && sim.col.TotalInstrs != instrs {
+		return Result{}, fmt.Errorf("dynopt: attribution mismatch: simulator saw %d instructions, stream recorded %d",
+			sim.col.TotalInstrs, instrs)
+	}
+	report := metrics.Analyze(sim.cache, sim.col, cfg.Selector.Stats())
+	report.Selector = cfg.Selector.Name()
+	return Result{
+		Report:    report,
+		VMStats:   vm.Stats{Instrs: sim.col.TotalInstrs, FinalPC: finalPC},
+		Cache:     sim.cache,
+		Collector: sim.col,
+	}, nil
+}
+
+// Run interprets the program to completion under the configured selector
+// and returns the full metric report.
+func Run(p *program.Program, cfg Config) (Result, error) {
+	if cfg.Selector == nil {
+		return Result{}, errors.New("dynopt: no selector configured")
+	}
+	sim := NewSimulator(p, cfg)
+	if len(cfg.Preload) > 0 {
+		if err := sim.cache.Restore(cfg.Preload); err != nil {
+			return Result{}, fmt.Errorf("dynopt: preloading cache: %w", err)
+		}
+	}
+	machine := vm.New(p, cfg.VM)
+	stats, err := machine.Run(sim)
+	if err != nil {
+		return Result{}, fmt.Errorf("dynopt: interpreting program: %w", err)
+	}
+	sim.finish(stats.FinalPC)
+	if len(sim.errs) > 0 {
+		return Result{}, errors.Join(sim.errs...)
+	}
+	if sim.col.TotalInstrs != stats.Instrs {
+		return Result{}, fmt.Errorf("dynopt: attribution mismatch: simulator saw %d instructions, vm executed %d",
+			sim.col.TotalInstrs, stats.Instrs)
+	}
+	report := metrics.Analyze(sim.cache, sim.col, cfg.Selector.Stats())
+	report.Selector = cfg.Selector.Name()
+	return Result{
+		Report:    report,
+		VMStats:   stats,
+		Cache:     sim.cache,
+		Collector: sim.col,
+	}, nil
+}

@@ -1,0 +1,140 @@
+// Package experiments is the harness that regenerates every figure of the
+// paper's evaluation (Figures 7–12 for LEI vs NET, Figures 16–19 for trace
+// combination, plus the hit-rate discussion and the §6 summary numbers).
+// It runs the twelve SPEC-named workloads under the four selector
+// configurations and derives each figure's rows from the resulting metric
+// reports. Both cmd/papertables and the repository's benchmark suite are
+// thin wrappers around this package.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dynopt"
+	"repro/internal/metrics"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// Selectors used throughout, in presentation order.
+const (
+	NET     = "net"
+	LEI     = "lei"
+	NETComb = "net+comb"
+	LEIComb = "lei+comb"
+)
+
+// AllSelectors returns the four configurations the paper evaluates.
+func AllSelectors() []string { return []string{NET, LEI, NETComb, LEIComb} }
+
+// DefaultParams returns the paper's published algorithm parameters.
+func DefaultParams() core.Params { return core.DefaultParams() }
+
+// Related-work selector names (paper §5).
+const (
+	MojoNET = "mojo-net"
+	BOA     = "boa"
+	WRS     = "wrs"
+)
+
+// RelatedSelectors returns the §5 comparison set.
+func RelatedSelectors() []string { return []string{NET, MojoNET, BOA, WRS, LEI} }
+
+// NewSelector builds a fresh selector for one run.
+func NewSelector(name string, params core.Params) (core.Selector, error) {
+	switch name {
+	case NET:
+		return core.NewNET(params), nil
+	case LEI:
+		return core.NewLEI(params), nil
+	case NETComb:
+		return core.NewCombiner(core.BaseNET, params), nil
+	case LEIComb:
+		return core.NewCombiner(core.BaseLEI, params), nil
+	case MojoNET:
+		return core.NewMojoNET(params, 30), nil
+	case BOA:
+		return core.NewBOA(params), nil
+	case WRS:
+		return core.NewWRS(params), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown selector %q", name)
+	}
+}
+
+// Results holds one report per (benchmark, selector).
+type Results struct {
+	// Scale is the workload scale multiplier used (0 = defaults).
+	Scale   int
+	Reports map[string]map[string]metrics.Report
+}
+
+// Get returns the report for a benchmark under a selector.
+func (r *Results) Get(bench, sel string) metrics.Report { return r.Reports[bench][sel] }
+
+// RunOne simulates a single (workload, selector) pair.
+func RunOne(bench, sel string, scale int, params core.Params) (metrics.Report, error) {
+	w, ok := workloads.Get(bench)
+	if !ok {
+		return metrics.Report{}, fmt.Errorf("experiments: unknown workload %q", bench)
+	}
+	s, err := NewSelector(sel, params)
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	res, err := dynopt.Run(w.Build(scale), dynopt.Config{Selector: s, VM: vm.Config{}})
+	if err != nil {
+		return metrics.Report{}, fmt.Errorf("experiments: %s under %s: %w", bench, sel, err)
+	}
+	res.Report.Workload = bench
+	return res.Report, nil
+}
+
+// RunAll simulates every SPEC-named benchmark under every selector,
+// in parallel across (bench, selector) pairs.
+func RunAll(scale int, params core.Params) (*Results, error) {
+	benches := workloads.SpecNames()
+	sels := AllSelectors()
+	res := &Results{Scale: scale, Reports: make(map[string]map[string]metrics.Report, len(benches))}
+	for _, b := range benches {
+		res.Reports[b] = make(map[string]metrics.Report, len(sels))
+	}
+	type job struct{ bench, sel string }
+	jobs := make(chan job)
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(benches)*len(sels) {
+		workers = len(benches) * len(sels)
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				rep, err := RunOne(j.bench, j.sel, scale, params)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				res.Reports[j.bench][j.sel] = rep
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, b := range benches {
+		for _, s := range sels {
+			jobs <- job{b, s}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/workloads"
+)
+
+// synthResults builds a Results matrix from a generator so figure math can
+// be checked against hand-computed values without running simulations.
+func synthResults(gen func(bench, sel string) metrics.Report) *Results {
+	res := &Results{Reports: map[string]map[string]metrics.Report{}}
+	for _, b := range workloads.SpecNames() {
+		res.Reports[b] = map[string]metrics.Report{}
+		for _, s := range AllSelectors() {
+			res.Reports[b][s] = gen(b, s)
+		}
+	}
+	return res
+}
+
+func TestFig8Math(t *testing.T) {
+	// LEI always exactly half of NET: per-benchmark ratios are 0.5, so the
+	// average row must be 0.500 for both columns.
+	res := synthResults(func(b, s string) metrics.Report {
+		r := metrics.Report{CodeExpansion: 100, Transitions: 1000}
+		if s == LEI {
+			r.CodeExpansion = 50
+			r.Transitions = 500
+		}
+		return r
+	})
+	f := Fig8(res)
+	out := f.String()
+	if !strings.Contains(out, "0.500") {
+		t.Errorf("fig8 output missing 0.500:\n%s", out)
+	}
+	// Every benchmark row shows the ratio.
+	if strings.Count(out, "0.500") < 13*2 { // 12 benchmarks + average, 2 columns
+		t.Errorf("fig8 rows wrong:\n%s", out)
+	}
+}
+
+func TestFig7Math(t *testing.T) {
+	res := synthResults(func(b, s string) metrics.Report {
+		r := metrics.Report{SpannedRatio: 0.10, ExecutedRatio: 0.20}
+		if s == LEI {
+			r.SpannedRatio = 0.15
+			r.ExecutedRatio = 0.35
+		}
+		return r
+	})
+	f := Fig7(res)
+	out := f.String()
+	// +5pp spanned, +15pp executed everywhere.
+	if !strings.Contains(out, "+5.0") || !strings.Contains(out, "+15.0") {
+		t.Errorf("fig7 deltas wrong:\n%s", out)
+	}
+}
+
+func TestFig17Math(t *testing.T) {
+	res := synthResults(func(b, s string) metrics.Report {
+		cover := map[string]int{NET: 10, NETComb: 8, LEI: 6, LEIComb: 3}
+		return metrics.Report{CoverSet90: cover[s]}
+	})
+	f := Fig17(res)
+	out := f.String()
+	if !strings.Contains(out, "0.800") || !strings.Contains(out, "0.500") {
+		t.Errorf("fig17 ratios wrong:\n%s", out)
+	}
+}
+
+func TestSummaryMath(t *testing.T) {
+	res := synthResults(func(b, s string) metrics.Report {
+		r := metrics.Report{CodeExpansion: 200, Stubs: 40, Transitions: 10000, CoverSet90: 8}
+		if s == LEIComb {
+			r = metrics.Report{CodeExpansion: 100, Stubs: 10, Transitions: 2500, CoverSet90: 2}
+		}
+		return r
+	})
+	f := Summary(res)
+	out := f.String()
+	for _, want := range []string{"0.500", "0.250"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeparationMath(t *testing.T) {
+	res := synthResults(func(b, s string) metrics.Report {
+		r := metrics.Report{TransitionReach: 1000, AvgTransitionBytes: 100}
+		if s == LEIComb {
+			r.TransitionReach = 250
+		}
+		return r
+	})
+	f := Separation(res)
+	if !strings.Contains(f.String(), "0.250") {
+		t.Errorf("separation ratios wrong:\n%s", f)
+	}
+}
+
+func TestFigureMarkdownRendering(t *testing.T) {
+	res := synthResults(func(b, s string) metrics.Report { return metrics.Report{} })
+	f := Fig9(res)
+	md := f.Markdown()
+	for _, want := range []string{"### fig9", "| gzip |", "> paper:"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package icache simulates a set-associative instruction cache over the
+// code-cache layout. The paper's case for locality is explicitly about
+// instruction fetch: trace separation "reduces locality of execution — and
+// therefore instruction cache performance — as control jumps between
+// distant traces" (§1). The region-selection metrics (transitions, reach)
+// are proxies; this simulator turns the layout and the executed stream
+// into a concrete miss rate for the translated code.
+//
+// Only execution inside the software code cache is simulated: that is the
+// translated code whose placement the selectors control. (Interpreted
+// phases execute the interpreter's own loop, whose footprint is constant
+// and independent of region selection.)
+package icache
+
+import "fmt"
+
+// Config describes the simulated instruction cache. The zero value is
+// replaced by a small L1i: 4 KiB, 64-byte lines, 2-way — deliberately
+// small, matching the simulated programs' small code footprints the same
+// way the paper's metrics were read against SPEC-sized footprints.
+type Config struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// LineBytes is the line size (power of two).
+	LineBytes int
+	// Ways is the associativity.
+	Ways int
+}
+
+func (c *Config) defaults() {
+	if c.SizeBytes == 0 {
+		c.SizeBytes = 4 << 10
+	}
+	if c.LineBytes == 0 {
+		c.LineBytes = 64
+	}
+	if c.Ways == 0 {
+		c.Ways = 2
+	}
+}
+
+func (c Config) validate() error {
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("icache: line size %d not a power of two", c.LineBytes)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("icache: ways = %d", c.Ways)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Ways)
+	if sets <= 0 {
+		return fmt.Errorf("icache: no sets (size %d, line %d, ways %d)", c.SizeBytes, c.LineBytes, c.Ways)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("icache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Cache is a set-associative instruction cache with LRU replacement.
+type Cache struct {
+	cfg      Config
+	sets     int
+	tags     []uint64 // sets*ways; 0 means empty (tags are addr|set+1)
+	lru      []uint64 // per-slot last-use tick
+	tick     uint64
+	accesses uint64
+	misses   uint64
+}
+
+// New returns an empty cache.
+func New(cfg Config) (*Cache, error) {
+	cfg.defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	return &Cache{
+		cfg:  cfg,
+		sets: sets,
+		tags: make([]uint64, sets*cfg.Ways),
+		lru:  make([]uint64, sets*cfg.Ways),
+	}, nil
+}
+
+// Fetch touches every line in [addr, addr+bytes).
+func (c *Cache) Fetch(addr, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	first := addr / c.cfg.LineBytes
+	last := (addr + bytes - 1) / c.cfg.LineBytes
+	for line := first; line <= last; line++ {
+		c.touch(uint64(line))
+	}
+}
+
+func (c *Cache) touch(line uint64) {
+	c.tick++
+	c.accesses++
+	set := int(line % uint64(c.sets))
+	base := set * c.cfg.Ways
+	tag := line + 1 // +1 so an empty slot (0) never matches
+	// Hit?
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.tags[base+w] == tag {
+			c.lru[base+w] = c.tick
+			return
+		}
+	}
+	// Miss: fill the LRU way.
+	c.misses++
+	victim := base
+	for w := 1; w < c.cfg.Ways; w++ {
+		if c.lru[base+w] < c.lru[victim] {
+			victim = base + w
+		}
+	}
+	c.tags[victim] = tag
+	c.lru[victim] = c.tick
+}
+
+// Accesses returns the number of line touches.
+func (c *Cache) Accesses() uint64 { return c.accesses }
+
+// Misses returns the number of line fills.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// MissRate returns misses per access (0 when idle).
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.lru[i] = 0
+	}
+	c.tick = 0
+	c.accesses = 0
+	c.misses = 0
+}

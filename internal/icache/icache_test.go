@@ -1,0 +1,110 @@
+package icache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 256, LineBytes: 64, Ways: 2}) // 2 sets
+	c.Fetch(0, 1)                                                   // line 0: miss
+	c.Fetch(0, 1)                                                   // hit
+	c.Fetch(63, 1)                                                  // same line: hit
+	c.Fetch(64, 1)                                                  // line 1: miss
+	if c.Accesses() != 4 || c.Misses() != 2 {
+		t.Errorf("accesses=%d misses=%d", c.Accesses(), c.Misses())
+	}
+	if c.MissRate() != 0.5 {
+		t.Errorf("miss rate = %v", c.MissRate())
+	}
+}
+
+func TestMultiLineFetch(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 1024, LineBytes: 64, Ways: 2})
+	c.Fetch(10, 150) // spans lines 0,1,2 (bytes 10..159)
+	if c.Accesses() != 3 || c.Misses() != 3 {
+		t.Errorf("accesses=%d misses=%d", c.Accesses(), c.Misses())
+	}
+	c.Fetch(0, 1) // zero/negative sizes do nothing extra beyond a touch
+	c.Fetch(0, 0)
+	if c.Accesses() != 4 {
+		t.Errorf("accesses=%d", c.Accesses())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 1 set, 2 ways, 64B lines: lines 0, 1, 2 all map to the set.
+	c := mustNew(t, Config{SizeBytes: 128, LineBytes: 64, Ways: 2})
+	c.Fetch(0*64, 1) // miss, fills way A
+	c.Fetch(1*64, 1) // miss, fills way B
+	c.Fetch(0*64, 1) // hit (A more recent than B)
+	c.Fetch(2*64, 1) // miss, evicts B (LRU)
+	c.Fetch(0*64, 1) // still a hit
+	c.Fetch(1*64, 1) // miss (was evicted)
+	if c.Misses() != 4 {
+		t.Errorf("misses = %d, want 4", c.Misses())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 100, LineBytes: 60, Ways: 2}, // line not power of two
+		{SizeBytes: 64, LineBytes: 64, Ways: 2},  // zero sets
+		{SizeBytes: 4096, LineBytes: 64, Ways: 0x7fffffff},
+		{SizeBytes: 192, LineBytes: 64, Ways: 1}, // 3 sets, not a power of two
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	// Defaults must validate.
+	if _, err := New(Config{}); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := mustNew(t, Config{})
+	c.Fetch(0, 256)
+	c.Reset()
+	if c.Accesses() != 0 || c.Misses() != 0 || c.MissRate() != 0 {
+		t.Error("reset incomplete")
+	}
+	c.Fetch(0, 1)
+	if c.Misses() != 1 {
+		t.Error("contents survived reset")
+	}
+}
+
+// TestModelAgainstFullyAssociativeBound: a set-associative cache can never
+// have fewer misses than the compulsory minimum (distinct lines touched),
+// and with a single set and enough ways it behaves fully associatively.
+func TestModelAgainstFullyAssociativeBound(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := mustNew(t, Config{SizeBytes: 8 * 64, LineBytes: 64, Ways: 8}) // 1 set, 8 ways
+		distinct := map[int]bool{}
+		touched := 0
+		for i := 0; i < 200; i++ {
+			line := rng.Intn(8) // working set fits: after compulsory misses, all hits
+			c.Fetch(line*64, 1)
+			distinct[line] = true
+			touched++
+		}
+		return c.Misses() == uint64(len(distinct)) && c.Accesses() == uint64(touched)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

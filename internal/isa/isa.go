@@ -1,0 +1,299 @@
+// Package isa defines the synthetic instruction set used by the
+// region-selection simulator.
+//
+// The ISA is a small load/store register machine. It exists to give the
+// simulator a realistic, deterministic source of dynamic control flow — the
+// role Pin-instrumented IA-32 binaries played in the original paper. Each
+// instruction occupies one address unit (Addr is an instruction index, not a
+// byte offset), which makes "backward branch" checks (target <= source) and
+// fall-through path reconstruction trivial. A separate per-opcode byte size
+// is kept for code-cache size estimation, matching the paper's observation
+// that selected instructions average between three and four bytes.
+package isa
+
+import "fmt"
+
+// Addr is the address of an instruction. Addresses are instruction indices:
+// the instruction at address a+1 is the fall-through successor of the
+// instruction at address a.
+type Addr uint32
+
+// Reg names one of the general-purpose registers.
+type Reg uint8
+
+// NumRegs is the number of general-purpose registers in the machine.
+const NumRegs = 32
+
+// Opcode enumerates every operation in the ISA.
+type Opcode uint8
+
+const (
+	// Nop does nothing.
+	Nop Opcode = iota
+	// Halt stops the machine.
+	Halt
+	// MovImm sets Dst to the immediate.
+	MovImm
+	// Mov copies SrcA to Dst.
+	Mov
+	// Add sets Dst = SrcA + SrcB.
+	Add
+	// AddImm sets Dst = SrcA + Imm.
+	AddImm
+	// Sub sets Dst = SrcA - SrcB.
+	Sub
+	// Mul sets Dst = SrcA * SrcB.
+	Mul
+	// Div sets Dst = SrcA / SrcB (0 when SrcB is 0).
+	Div
+	// Rem sets Dst = SrcA % SrcB (0 when SrcB is 0).
+	Rem
+	// And sets Dst = SrcA & SrcB.
+	And
+	// Or sets Dst = SrcA | SrcB.
+	Or
+	// Xor sets Dst = SrcA ^ SrcB.
+	Xor
+	// Shl sets Dst = SrcA << (SrcB & 63).
+	Shl
+	// Shr sets Dst = uint64(SrcA) >> (SrcB & 63).
+	Shr
+	// Load sets Dst = mem[SrcA + Imm].
+	Load
+	// Store sets mem[SrcA + Imm] = SrcB.
+	Store
+	// Jmp unconditionally transfers control to Target.
+	Jmp
+	// Br transfers control to Target when Cond holds for SrcA, SrcB;
+	// otherwise control falls through.
+	Br
+	// Call transfers control to Target and pushes the return address.
+	Call
+	// CallInd transfers control to the address in SrcA and pushes the
+	// return address.
+	CallInd
+	// JmpInd transfers control to the address in SrcA.
+	JmpInd
+	// Ret pops the return address and transfers control to it.
+	Ret
+
+	numOpcodes
+)
+
+// Cond enumerates conditional-branch predicates. All comparisons are signed.
+type Cond uint8
+
+const (
+	// CondNone marks a non-conditional instruction.
+	CondNone Cond = iota
+	// CondEq branches when SrcA == SrcB.
+	CondEq
+	// CondNe branches when SrcA != SrcB.
+	CondNe
+	// CondLt branches when SrcA < SrcB.
+	CondLt
+	// CondLe branches when SrcA <= SrcB.
+	CondLe
+	// CondGt branches when SrcA > SrcB.
+	CondGt
+	// CondGe branches when SrcA >= SrcB.
+	CondGe
+)
+
+// Instr is a single decoded instruction.
+type Instr struct {
+	Op     Opcode
+	Cond   Cond
+	Dst    Reg
+	SrcA   Reg
+	SrcB   Reg
+	Imm    int64
+	Target Addr
+}
+
+// opInfo captures static per-opcode properties.
+type opInfo struct {
+	name  string
+	bytes int
+}
+
+var opTable = [numOpcodes]opInfo{
+	Nop:     {"nop", 1},
+	Halt:    {"halt", 1},
+	MovImm:  {"movi", 6},
+	Mov:     {"mov", 2},
+	Add:     {"add", 3},
+	AddImm:  {"addi", 4},
+	Sub:     {"sub", 3},
+	Mul:     {"mul", 3},
+	Div:     {"div", 3},
+	Rem:     {"rem", 3},
+	And:     {"and", 3},
+	Or:      {"or", 3},
+	Xor:     {"xor", 3},
+	Shl:     {"shl", 3},
+	Shr:     {"shr", 3},
+	Load:    {"load", 4},
+	Store:   {"store", 4},
+	Jmp:     {"jmp", 4},
+	Br:      {"br", 4},
+	Call:    {"call", 5},
+	CallInd: {"calli", 2},
+	JmpInd:  {"jmpi", 2},
+	Ret:     {"ret", 1},
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return op < numOpcodes }
+
+// String returns the mnemonic for op.
+func (op Opcode) String() string {
+	if !op.Valid() {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// Bytes returns the encoded size of the opcode in bytes. The simulator uses
+// it only to estimate code-cache footprint; control flow is addressed in
+// instruction units.
+func (op Opcode) Bytes() int {
+	if !op.Valid() {
+		return 0
+	}
+	return opTable[op].bytes
+}
+
+// String returns the mnemonic suffix for the condition.
+func (c Cond) String() string {
+	switch c {
+	case CondEq:
+		return "eq"
+	case CondNe:
+		return "ne"
+	case CondLt:
+		return "lt"
+	case CondLe:
+		return "le"
+	case CondGt:
+		return "gt"
+	case CondGe:
+		return "ge"
+	default:
+		return ""
+	}
+}
+
+// Eval reports whether the condition holds for the operand values a and b.
+func (c Cond) Eval(a, b int64) bool {
+	switch c {
+	case CondEq:
+		return a == b
+	case CondNe:
+		return a != b
+	case CondLt:
+		return a < b
+	case CondLe:
+		return a <= b
+	case CondGt:
+		return a > b
+	case CondGe:
+		return a >= b
+	default:
+		return false
+	}
+}
+
+// IsBranch reports whether the instruction can transfer control anywhere
+// other than the fall-through successor.
+func (i Instr) IsBranch() bool {
+	switch i.Op {
+	case Jmp, Br, Call, CallInd, JmpInd, Ret:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsConditional reports whether the instruction may either branch or fall
+// through depending on register state.
+func (i Instr) IsConditional() bool { return i.Op == Br }
+
+// IsIndirect reports whether the instruction's target is computed at run
+// time rather than encoded in the instruction. Returns are indirect: their
+// target depends on the dynamic call site.
+func (i Instr) IsIndirect() bool {
+	switch i.Op {
+	case CallInd, JmpInd, Ret:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsCall reports whether the instruction pushes a return address.
+func (i Instr) IsCall() bool { return i.Op == Call || i.Op == CallInd }
+
+// IsReturn reports whether the instruction pops a return address.
+func (i Instr) IsReturn() bool { return i.Op == Ret }
+
+// EndsBlock reports whether the instruction terminates a basic block.
+func (i Instr) EndsBlock() bool { return i.IsBranch() || i.Op == Halt }
+
+// String renders the instruction in the textual assembly syntax understood
+// by package asm.
+func (i Instr) String() string {
+	switch i.Op {
+	case Nop, Halt, Ret:
+		return i.Op.String()
+	case MovImm:
+		return fmt.Sprintf("movi r%d, %d", i.Dst, i.Imm)
+	case Mov:
+		return fmt.Sprintf("mov r%d, r%d", i.Dst, i.SrcA)
+	case AddImm:
+		return fmt.Sprintf("addi r%d, r%d, %d", i.Dst, i.SrcA, i.Imm)
+	case Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Dst, i.SrcA, i.SrcB)
+	case Load:
+		return fmt.Sprintf("load r%d, [r%d%s]", i.Dst, i.SrcA, offset(i.Imm))
+	case Store:
+		return fmt.Sprintf("store [r%d%s], r%d", i.SrcA, offset(i.Imm), i.SrcB)
+	case Jmp:
+		return fmt.Sprintf("jmp %d", i.Target)
+	case Br:
+		return fmt.Sprintf("b%s r%d, r%d, %d", i.Cond, i.SrcA, i.SrcB, i.Target)
+	case Call:
+		return fmt.Sprintf("call %d", i.Target)
+	case CallInd:
+		return fmt.Sprintf("calli r%d", i.SrcA)
+	case JmpInd:
+		return fmt.Sprintf("jmpi r%d", i.SrcA)
+	default:
+		return fmt.Sprintf("op(%d)", uint8(i.Op))
+	}
+}
+
+// offset renders a signed memory displacement with its sign.
+func offset(v int64) string {
+	if v < 0 {
+		return fmt.Sprintf("%d", v)
+	}
+	return fmt.Sprintf("+%d", v)
+}
+
+// Validate reports a descriptive error when the instruction is malformed.
+func (i Instr) Validate() error {
+	if !i.Op.Valid() {
+		return fmt.Errorf("isa: invalid opcode %d", uint8(i.Op))
+	}
+	if i.Op == Br && i.Cond == CondNone {
+		return fmt.Errorf("isa: conditional branch without condition: %s", i)
+	}
+	if i.Op != Br && i.Cond != CondNone {
+		return fmt.Errorf("isa: condition %v on non-branch %s", i.Cond, i.Op)
+	}
+	if i.Dst >= NumRegs || i.SrcA >= NumRegs || i.SrcB >= NumRegs {
+		return fmt.Errorf("isa: register out of range in %s", i)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeProperties(t *testing.T) {
+	cases := []struct {
+		op       Opcode
+		branch   bool
+		indirect bool
+		call     bool
+		ret      bool
+		ends     bool
+	}{
+		{Nop, false, false, false, false, false},
+		{Halt, false, false, false, false, true},
+		{MovImm, false, false, false, false, false},
+		{Add, false, false, false, false, false},
+		{Load, false, false, false, false, false},
+		{Store, false, false, false, false, false},
+		{Jmp, true, false, false, false, true},
+		{Br, true, false, false, false, true},
+		{Call, true, false, true, false, true},
+		{CallInd, true, true, true, false, true},
+		{JmpInd, true, true, false, false, true},
+		{Ret, true, true, false, true, true},
+	}
+	for _, c := range cases {
+		in := Instr{Op: c.op}
+		if c.op == Br {
+			in.Cond = CondEq
+		}
+		if got := in.IsBranch(); got != c.branch {
+			t.Errorf("%s: IsBranch=%v, want %v", c.op, got, c.branch)
+		}
+		if got := in.IsIndirect(); got != c.indirect {
+			t.Errorf("%s: IsIndirect=%v, want %v", c.op, got, c.indirect)
+		}
+		if got := in.IsCall(); got != c.call {
+			t.Errorf("%s: IsCall=%v, want %v", c.op, got, c.call)
+		}
+		if got := in.IsReturn(); got != c.ret {
+			t.Errorf("%s: IsReturn=%v, want %v", c.op, got, c.ret)
+		}
+		if got := in.EndsBlock(); got != c.ends {
+			t.Errorf("%s: EndsBlock=%v, want %v", c.op, got, c.ends)
+		}
+	}
+}
+
+func TestOpcodeBytesRealistic(t *testing.T) {
+	// The paper reports selected-instruction sizes averaging between three
+	// and four bytes (§4.3.4); the ISA's opcode sizes must stay in a range
+	// that keeps that plausible.
+	total, n := 0, 0
+	for op := Opcode(0); op < numOpcodes; op++ {
+		b := op.Bytes()
+		if b < 1 || b > 8 {
+			t.Errorf("%s: implausible size %d bytes", op, b)
+		}
+		total += b
+		n++
+	}
+	avg := float64(total) / float64(n)
+	if avg < 2 || avg > 5 {
+		t.Errorf("mean opcode size %.2f outside [2,5]", avg)
+	}
+}
+
+func TestOpcodeStringUnique(t *testing.T) {
+	seen := map[string]Opcode{}
+	for op := Opcode(0); op < numOpcodes; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("mnemonic %q used by both %d and %d", s, prev, op)
+		}
+		seen[s] = op
+	}
+	if Opcode(250).Valid() {
+		t.Error("opcode 250 should be invalid")
+	}
+	if got := Opcode(250).String(); got != "op(250)" {
+		t.Errorf("invalid opcode String = %q", got)
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	if err := quick.Check(func(a, b int64) bool {
+		return CondEq.Eval(a, b) == (a == b) &&
+			CondNe.Eval(a, b) == (a != b) &&
+			CondLt.Eval(a, b) == (a < b) &&
+			CondLe.Eval(a, b) == (a <= b) &&
+			CondGt.Eval(a, b) == (a > b) &&
+			CondGe.Eval(a, b) == (a >= b) &&
+			!CondNone.Eval(a, b)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondComplementary(t *testing.T) {
+	pairs := [][2]Cond{{CondEq, CondNe}, {CondLt, CondGe}, {CondLe, CondGt}}
+	if err := quick.Check(func(a, b int64) bool {
+		for _, p := range pairs {
+			if p[0].Eval(a, b) == p[1].Eval(a, b) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Instr{
+		{Op: Nop},
+		{Op: Br, Cond: CondLt, SrcA: 1, SrcB: 2, Target: 0},
+		{Op: MovImm, Dst: 31, Imm: -5},
+	}
+	for _, in := range good {
+		if err := in.Validate(); err != nil {
+			t.Errorf("%s: unexpected error %v", in, err)
+		}
+	}
+	bad := []Instr{
+		{Op: numOpcodes},                 // invalid opcode
+		{Op: Br},                         // conditional without condition
+		{Op: Add, Cond: CondEq},          // condition on non-branch
+		{Op: Mov, Dst: NumRegs},          // register out of range
+		{Op: Mov, SrcA: NumRegs + 3},     // register out of range
+		{Op: Add, SrcB: NumRegs, Dst: 1}, // register out of range
+	}
+	for _, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("%v: expected validation error", in)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := map[string]Instr{
+		"nop":              {Op: Nop},
+		"halt":             {Op: Halt},
+		"ret":              {Op: Ret},
+		"movi r1, 42":      {Op: MovImm, Dst: 1, Imm: 42},
+		"mov r2, r3":       {Op: Mov, Dst: 2, SrcA: 3},
+		"add r1, r2, r3":   {Op: Add, Dst: 1, SrcA: 2, SrcB: 3},
+		"addi r1, r2, -7":  {Op: AddImm, Dst: 1, SrcA: 2, Imm: -7},
+		"load r4, [r5+8]":  {Op: Load, Dst: 4, SrcA: 5, Imm: 8},
+		"store [r5+8], r4": {Op: Store, SrcA: 5, SrcB: 4, Imm: 8},
+		"jmp 17":           {Op: Jmp, Target: 17},
+		"blt r1, r2, 3":    {Op: Br, Cond: CondLt, SrcA: 1, SrcB: 2, Target: 3},
+		"call 9":           {Op: Call, Target: 9},
+		"calli r6":         {Op: CallInd, SrcA: 6},
+		"jmpi r6":          {Op: JmpInd, SrcA: 6},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"repro/internal/codecache"
+)
+
+// WriteRegionsCSV dumps one row per region ever selected — identity, shape,
+// and execution statistics — for offline analysis of a run.
+func WriteRegionsCSV(w io.Writer, cache *codecache.Cache) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"id", "seq", "kind", "entry", "blocks", "instrs", "stubs",
+		"code_bytes", "est_bytes", "cache_addr", "cyclic",
+		"entries", "traversals", "cycle_traversals", "exec_instrs",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range cache.AllRegions() {
+		row := []string{
+			fmt.Sprint(r.ID),
+			fmt.Sprint(r.SelectedSeq),
+			r.Kind.String(),
+			fmt.Sprint(r.Entry),
+			fmt.Sprint(len(r.Blocks)),
+			fmt.Sprint(r.Instrs),
+			fmt.Sprint(r.Stubs),
+			fmt.Sprint(r.CodeBytes),
+			fmt.Sprint(r.EstimatedBytes()),
+			fmt.Sprint(r.CacheAddr),
+			fmt.Sprint(r.Cyclic),
+			fmt.Sprint(r.Entries),
+			fmt.Sprint(r.Traversals),
+			fmt.Sprint(r.CycleTraversals),
+			fmt.Sprint(r.ExecInstrs),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,360 @@
+// Package metrics computes every evaluation measure used in the paper:
+// hit rate, code expansion, region transitions, spanned and executed cycle
+// ratios (§3.2.1), the X% cover set (§2.3), exit domination and
+// exit-dominated duplication (§4.1), exit-stub counts, estimated cache
+// size, and profiling memory overheads.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/codecache"
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// Collector accumulates raw execution facts during a simulation run.
+type Collector struct {
+	// TotalInstrs is every instruction executed by the program.
+	TotalInstrs uint64
+	// CacheInstrs is the subset executed from the code cache.
+	CacheInstrs uint64
+	// Transitions counts jumps between regions in the code cache (§2.3).
+	Transitions uint64
+	// PageTransitions counts region transitions whose source and target
+	// regions lie on different virtual-memory pages of the cache layout —
+	// the separation effect of §1 quantified.
+	PageTransitions uint64
+	// TransitionBytes accumulates the cache-layout distance (in bytes)
+	// covered by region transitions.
+	TransitionBytes uint64
+	// CacheEnters counts transfers from the interpreter into the cache.
+	CacheEnters uint64
+	// CacheExits counts transfers from the cache back to the interpreter.
+	CacheExits uint64
+	// InterpBranches counts interpreted taken branches.
+	InterpBranches uint64
+
+	// edges maps (fromBlock, toBlock) leader pairs to execution counts,
+	// covering all execution (interpreted and cached) — the paper's
+	// exit-domination definition considers every predecessor edge that
+	// executes (§4.1, footnote 5).
+	edges map[edgeKey]uint64
+}
+
+type edgeKey struct{ from, to isa.Addr }
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{edges: make(map[edgeKey]uint64)}
+}
+
+// Block records the completed execution of a block of n instructions.
+func (c *Collector) Block(n int, inCache bool) {
+	c.TotalInstrs += uint64(n)
+	if inCache {
+		c.CacheInstrs += uint64(n)
+	}
+}
+
+// Edge records one execution of the control-flow edge between two block
+// leaders.
+func (c *Collector) Edge(from, to isa.Addr) {
+	c.edges[edgeKey{from, to}]++
+}
+
+// Transition records one region transition between cache-layout addresses.
+func (c *Collector) Transition(fromAddr, toAddr int) {
+	c.Transitions++
+	if fromAddr/codecache.PageBytes != toAddr/codecache.PageBytes {
+		c.PageTransitions++
+	}
+	d := toAddr - fromAddr
+	if d < 0 {
+		d = -d
+	}
+	c.TransitionBytes += uint64(d)
+}
+
+// EdgeCount returns the number of times the edge executed.
+func (c *Collector) EdgeCount(from, to isa.Addr) uint64 {
+	return c.edges[edgeKey{from, to}]
+}
+
+// PredsOf returns the distinct executed predecessor leaders for each block
+// leader.
+func (c *Collector) PredsOf() map[isa.Addr][]isa.Addr {
+	preds := make(map[isa.Addr][]isa.Addr)
+	for k := range c.edges {
+		preds[k.to] = append(preds[k.to], k.from)
+	}
+	for _, ps := range preds {
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	}
+	return preds
+}
+
+// HitRate returns the fraction of executed instructions that ran from the
+// code cache.
+func (c *Collector) HitRate() float64 {
+	if c.TotalInstrs == 0 {
+		return 0
+	}
+	return float64(c.CacheInstrs) / float64(c.TotalInstrs)
+}
+
+// Report is the full set of per-run measurements the paper's figures draw
+// from.
+type Report struct {
+	Workload string
+	Selector string
+
+	// Execution.
+	TotalInstrs uint64
+	CacheInstrs uint64
+	HitRate     float64
+	Transitions uint64
+	// PageTransitions counts transitions crossing a page boundary of the
+	// cache layout (zero when the whole cache fits one page).
+	PageTransitions uint64
+	// TransitionReach is the total cache-layout distance covered by all
+	// region transitions, in bytes — a locality measure combining how
+	// often control leaves a region with how far it lands.
+	TransitionReach uint64
+	// AvgTransitionBytes is the mean cache-layout distance of a region
+	// transition.
+	AvgTransitionBytes float64
+	CacheEnters        uint64
+	CacheExits         uint64
+	InterpBranches     uint64
+
+	// Selection.
+	Regions         int
+	CodeExpansion   int // instructions copied into the cache
+	Stubs           int
+	EstimatedBytes  int
+	AvgRegionInstrs float64
+	SpannedCycles   int
+	SpannedRatio    float64 // cyclic regions / regions
+	Traversals      uint64
+	CycleTraversals uint64
+	ExecutedRatio   float64 // cycle traversals / traversals
+
+	// Cover set.
+	CoverSet90   int
+	CoverSet90OK bool // whether 90% of execution is reachable from regions
+
+	// Exit domination (§4.1).
+	ExitDominated         int
+	ExitDominatedRatio    float64 // exit-dominated regions / regions
+	ExitDomDupInstrs      int
+	ExitDomDupInstrsRatio float64 // duplicated instructions / instructions selected
+
+	// Links counts exit directions that target another region's entry —
+	// the inter-region links Dynamo patches into exit stubs. The paper's
+	// footnote 9 ignores link memory but argues its algorithms reduce the
+	// number of links; this measures that.
+	Links int
+
+	// Profiling memory.
+	CountersHighWater      int
+	CounterAllocs          uint64
+	ObservedBytesHighWater int
+	ObservedTraces         uint64
+	// ObservedPctOfCache is ObservedBytesHighWater as a fraction of the
+	// estimated cache size (Figure 18).
+	ObservedPctOfCache float64
+}
+
+// Analyze computes a Report from a finished run.
+func Analyze(cache *codecache.Cache, col *Collector, selStats core.ProfileStats) Report {
+	r := Report{
+		TotalInstrs:     col.TotalInstrs,
+		CacheInstrs:     col.CacheInstrs,
+		HitRate:         col.HitRate(),
+		Transitions:     col.Transitions,
+		PageTransitions: col.PageTransitions,
+		TransitionReach: col.TransitionBytes,
+		CacheEnters:     col.CacheEnters,
+		CacheExits:      col.CacheExits,
+		InterpBranches:  col.InterpBranches,
+
+		CodeExpansion:  cache.TotalInstrs(),
+		Stubs:          cache.TotalStubs(),
+		EstimatedBytes: cache.EstimatedBytes(),
+
+		CountersHighWater:      selStats.CountersHighWater,
+		CounterAllocs:          selStats.CounterAllocs,
+		ObservedBytesHighWater: selStats.ObservedBytesHighWater,
+		ObservedTraces:         selStats.ObservedTraces,
+	}
+	r.Links = cache.CountLinks()
+	regions := cache.AllRegions()
+	r.Regions = len(regions)
+	for _, reg := range regions {
+		if reg.Cyclic {
+			r.SpannedCycles++
+		}
+		r.Traversals += reg.Traversals
+		r.CycleTraversals += reg.CycleTraversals
+	}
+	if r.Regions > 0 {
+		r.SpannedRatio = float64(r.SpannedCycles) / float64(r.Regions)
+		r.AvgRegionInstrs = float64(r.CodeExpansion) / float64(r.Regions)
+	}
+	if r.Traversals > 0 {
+		r.ExecutedRatio = float64(r.CycleTraversals) / float64(r.Traversals)
+	}
+	r.CoverSet90, r.CoverSet90OK = CoverSet(regions, col.TotalInstrs, 0.90)
+	dom := AnalyzeExitDomination(regions, col)
+	r.ExitDominated = dom.DominatedRegions
+	r.ExitDomDupInstrs = dom.DuplicatedInstrs
+	if r.Regions > 0 {
+		r.ExitDominatedRatio = float64(r.ExitDominated) / float64(r.Regions)
+	}
+	if r.CodeExpansion > 0 {
+		r.ExitDomDupInstrsRatio = float64(r.ExitDomDupInstrs) / float64(r.CodeExpansion)
+	}
+	if r.EstimatedBytes > 0 {
+		r.ObservedPctOfCache = float64(r.ObservedBytesHighWater) / float64(r.EstimatedBytes)
+	}
+	if col.Transitions > 0 {
+		r.AvgTransitionBytes = float64(col.TransitionBytes) / float64(col.Transitions)
+	}
+	return r
+}
+
+// CoverSet returns the size of the smallest set of regions whose executed
+// instructions comprise at least frac of total program execution — the
+// paper's trace-quality metric (§2.3). ok is false when even all regions
+// together fall short (the remainder ran interpreted).
+func CoverSet(regions []*codecache.Region, totalInstrs uint64, frac float64) (int, bool) {
+	byExec := append([]*codecache.Region(nil), regions...)
+	sort.Slice(byExec, func(i, j int) bool {
+		if byExec[i].ExecInstrs != byExec[j].ExecInstrs {
+			return byExec[i].ExecInstrs > byExec[j].ExecInstrs
+		}
+		return byExec[i].SelectedSeq < byExec[j].SelectedSeq
+	})
+	need := uint64(frac * float64(totalInstrs))
+	if need == 0 {
+		return 0, true
+	}
+	var sum uint64
+	for i, reg := range byExec {
+		sum += reg.ExecInstrs
+		if sum >= need {
+			return i + 1, true
+		}
+	}
+	return len(byExec), false
+}
+
+// DominationResult summarizes the §4.1 analysis.
+type DominationResult struct {
+	// DominatedRegions is the number of regions that are exit-dominated by
+	// an earlier region.
+	DominatedRegions int
+	// DuplicatedInstrs is the total count of instructions in dominated
+	// regions that also appear in their dominating region (exit-dominated
+	// duplication).
+	DuplicatedInstrs int
+	// Pairs lists (dominating, dominated) region IDs.
+	Pairs [][2]codecache.ID
+}
+
+// AnalyzeExitDomination finds exit-dominated regions. Region R
+// exit-dominates region S when (1) S begins at an exit from R, (2) the exit
+// block is the only executed predecessor of S's entrance not contained in
+// S, and (3) R was selected before S (§4.1).
+func AnalyzeExitDomination(regions []*codecache.Region, col *Collector) DominationResult {
+	var res DominationResult
+	preds := col.PredsOf()
+	for _, s := range regions {
+		// Executed predecessors of S's entrance outside S.
+		var outside []isa.Addr
+		for _, p := range preds[s.Entry] {
+			if !s.Contains(p) {
+				outside = append(outside, p)
+			}
+		}
+		if len(outside) != 1 {
+			continue
+		}
+		p := outside[0]
+		dominator := findDominator(regions, s, p)
+		if dominator == nil {
+			continue
+		}
+		res.DominatedRegions++
+		res.DuplicatedInstrs += overlapInstrs(dominator, s)
+		res.Pairs = append(res.Pairs, [2]codecache.ID{dominator.ID, s.ID})
+	}
+	return res
+}
+
+// findDominator returns the earliest-selected region R, selected before S,
+// that contains the exit block p and for which the edge p -> S.Entry leaves
+// R (is not one of R's internal edges).
+func findDominator(regions []*codecache.Region, s *codecache.Region, p isa.Addr) *codecache.Region {
+	var best *codecache.Region
+	for _, r := range regions {
+		if r == s || r.SelectedSeq >= s.SelectedSeq {
+			continue
+		}
+		pi := r.BlockIndex(p)
+		if pi < 0 {
+			continue
+		}
+		if edgeInternal(r, pi, s.Entry) {
+			continue
+		}
+		if best == nil || r.SelectedSeq < best.SelectedSeq {
+			best = r
+		}
+	}
+	return best
+}
+
+// edgeInternal reports whether region r routes control from its block pi to
+// the block starting at tgt internally (no exit taken).
+func edgeInternal(r *codecache.Region, pi int, tgt isa.Addr) bool {
+	for _, si := range r.Succs[pi] {
+		if r.Blocks[si].Start == tgt {
+			return true
+		}
+	}
+	return false
+}
+
+// overlapInstrs counts the instructions present in both regions (shared
+// static blocks).
+func overlapInstrs(a, b *codecache.Region) int {
+	n := 0
+	for _, blk := range b.Blocks {
+		if a.Contains(blk.Start) {
+			n += blk.Len
+		}
+	}
+	return n
+}
+
+// String renders the report as a human-readable block.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload=%s selector=%s\n", r.Workload, r.Selector)
+	fmt.Fprintf(&b, "  instrs total=%d cache=%d hit=%.2f%%\n", r.TotalInstrs, r.CacheInstrs, 100*r.HitRate)
+	fmt.Fprintf(&b, "  regions=%d expansion=%d instrs avg=%.1f stubs=%d bytes=%d\n",
+		r.Regions, r.CodeExpansion, r.AvgRegionInstrs, r.Stubs, r.EstimatedBytes)
+	fmt.Fprintf(&b, "  transitions=%d (page-crossing=%d, avg-dist=%.0fB) enters=%d exits=%d\n",
+		r.Transitions, r.PageTransitions, r.AvgTransitionBytes, r.CacheEnters, r.CacheExits)
+	fmt.Fprintf(&b, "  spanned=%.1f%% executed-cycles=%.1f%%\n", 100*r.SpannedRatio, 100*r.ExecutedRatio)
+	fmt.Fprintf(&b, "  cover90=%d (ok=%v)\n", r.CoverSet90, r.CoverSet90OK)
+	fmt.Fprintf(&b, "  exit-dominated=%d (%.1f%%) dup-instrs=%d (%.1f%%)\n",
+		r.ExitDominated, 100*r.ExitDominatedRatio, r.ExitDomDupInstrs, 100*r.ExitDomDupInstrsRatio)
+	fmt.Fprintf(&b, "  counters-high=%d observed-bytes-high=%d (%.1f%% of cache)\n",
+		r.CountersHighWater, r.ObservedBytesHighWater, 100*r.ObservedPctOfCache)
+	return b.String()
+}

@@ -1,0 +1,384 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/codecache"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// metricsProgram: four single-instruction-ish blocks plus glue, for region
+// construction:
+//
+//	0: movi r1, 1    A [0..1]  (cond to 4)
+//	1: beq r1,r0,4
+//	2: nop           B [2..3]
+//	3: jmp 6
+//	4: nop           C [4..5]
+//	5: jmp 6
+//	6: nop           D [6..7]
+//	7: bgt r1,r0,0
+//	8: halt          E [8]
+func metricsProgram(t *testing.T) *program.Program {
+	t.Helper()
+	ins := []isa.Instr{
+		{Op: isa.MovImm, Dst: 1, Imm: 1},
+		{Op: isa.Br, Cond: isa.CondEq, SrcA: 1, SrcB: 0, Target: 4},
+		{Op: isa.Nop},
+		{Op: isa.Jmp, Target: 6},
+		{Op: isa.Nop},
+		{Op: isa.Jmp, Target: 6},
+		{Op: isa.Nop},
+		{Op: isa.Br, Cond: isa.CondGt, SrcA: 1, SrcB: 0, Target: 0},
+		{Op: isa.Halt},
+	}
+	p, err := program.New(ins, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func spec(p *program.Program, starts ...isa.Addr) codecache.Spec {
+	blocks := make([]codecache.BlockSpec, len(starts))
+	for i, s := range starts {
+		blocks[i] = codecache.BlockSpec{Start: s, Len: p.BlockLen(s)}
+	}
+	return codecache.Spec{Entry: starts[0], Kind: codecache.KindTrace, Blocks: blocks}
+}
+
+func TestCollectorBasics(t *testing.T) {
+	c := NewCollector()
+	c.Block(10, false)
+	c.Block(30, true)
+	c.Block(60, true)
+	if c.TotalInstrs != 100 || c.CacheInstrs != 90 {
+		t.Errorf("totals = %d/%d", c.CacheInstrs, c.TotalInstrs)
+	}
+	if c.HitRate() != 0.9 {
+		t.Errorf("hit rate = %v", c.HitRate())
+	}
+	c.Edge(1, 2)
+	c.Edge(1, 2)
+	c.Edge(3, 2)
+	if c.EdgeCount(1, 2) != 2 || c.EdgeCount(3, 2) != 1 || c.EdgeCount(9, 9) != 0 {
+		t.Error("edge counts wrong")
+	}
+	preds := c.PredsOf()
+	if got := preds[2]; len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("preds = %v", got)
+	}
+	if NewCollector().HitRate() != 0 {
+		t.Error("empty hit rate")
+	}
+}
+
+func TestCoverSet(t *testing.T) {
+	mk := func(exec uint64, seq uint64) *codecache.Region {
+		r := &codecache.Region{ExecInstrs: exec, SelectedSeq: seq}
+		return r
+	}
+	regions := []*codecache.Region{mk(500, 0), mk(300, 1), mk(150, 2), mk(50, 3)}
+	// Total execution 1000 (everything cached).
+	if n, ok := CoverSet(regions, 1000, 0.90); !ok || n != 3 {
+		t.Errorf("cover90 = %d, %v; want 3, true", n, ok)
+	}
+	if n, ok := CoverSet(regions, 1000, 0.50); !ok || n != 1 {
+		t.Errorf("cover50 = %d, %v; want 1, true", n, ok)
+	}
+	if n, ok := CoverSet(regions, 1000, 1.0); !ok || n != 4 {
+		t.Errorf("cover100 = %d, %v", n, ok)
+	}
+	// 2000 total: the regions cover only half; not achievable.
+	if n, ok := CoverSet(regions, 2000, 0.90); ok || n != 4 {
+		t.Errorf("unreachable cover = %d, %v; want 4, false", n, ok)
+	}
+	if n, ok := CoverSet(nil, 0, 0.9); !ok || n != 0 {
+		t.Errorf("empty cover = %d, %v", n, ok)
+	}
+}
+
+func TestExitDomination(t *testing.T) {
+	p := metricsProgram(t)
+	cache := codecache.New(p)
+	// R: trace A,B (selected first). S: trace D,E beginning at R's exit
+	// (B's jmp to 6).
+	r, err := cache.Insert(spec(p, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cache.Insert(spec(p, 6, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	// Executed edges: A->B, B->D (the exit edge), D->E. Only B reaches D.
+	col.Edge(0, 2)
+	col.Edge(2, 6)
+	col.Edge(6, 8)
+	res := AnalyzeExitDomination(cache.AllRegions(), col)
+	if res.DominatedRegions != 1 {
+		t.Fatalf("dominated = %d, want 1", res.DominatedRegions)
+	}
+	if len(res.Pairs) != 1 || res.Pairs[0][0] != r.ID || res.Pairs[0][1] != s.ID {
+		t.Errorf("pairs = %v", res.Pairs)
+	}
+	// No shared blocks: zero duplication.
+	if res.DuplicatedInstrs != 0 {
+		t.Errorf("dup = %d", res.DuplicatedInstrs)
+	}
+}
+
+func TestExitDominationRequiresSinglePredecessor(t *testing.T) {
+	p := metricsProgram(t)
+	cache := codecache.New(p)
+	if _, err := cache.Insert(spec(p, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Insert(spec(p, 6, 8)); err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	col.Edge(2, 6)
+	col.Edge(4, 6) // C also reaches D and C is outside both regions
+	res := AnalyzeExitDomination(cache.AllRegions(), col)
+	if res.DominatedRegions != 0 {
+		t.Errorf("dominated = %d, want 0 (two outside predecessors)", res.DominatedRegions)
+	}
+}
+
+func TestExitDominationSelectionOrderMatters(t *testing.T) {
+	p := metricsProgram(t)
+	cache := codecache.New(p)
+	// S selected FIRST: then R cannot dominate it (condition 3).
+	if _, err := cache.Insert(spec(p, 6, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Insert(spec(p, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	col.Edge(0, 2)
+	col.Edge(2, 6)
+	res := AnalyzeExitDomination(cache.AllRegions(), col)
+	if res.DominatedRegions != 0 {
+		t.Errorf("dominated = %d, want 0 (wrong selection order)", res.DominatedRegions)
+	}
+}
+
+func TestExitDominationInternalEdgeNotAnExit(t *testing.T) {
+	p := metricsProgram(t)
+	cache := codecache.New(p)
+	// R includes D and routes B->D internally, so S at D... cannot exist
+	// (same entry), instead: S at D selected after R which contains D with
+	// an internal edge B->D. S's entry (6) has outside preds {2}, but 2's
+	// edge to 6 is internal to R, so R does not exit-dominate S... we need
+	// S's entry to be targeted by an internal edge of R. Build R = A,B,D
+	// (B->D internal). S cannot share entry 6 with R's interior block, but
+	// exit-domination requires p->e to leave R; here it does not.
+	if _, err := cache.Insert(codecache.Spec{
+		Entry: 0, Kind: codecache.KindTrace,
+		Blocks: []codecache.BlockSpec{
+			{Start: 0, Len: p.BlockLen(0)},
+			{Start: 2, Len: p.BlockLen(2)},
+			{Start: 6, Len: p.BlockLen(6)},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// S begins at 6? Entry 6 is interior to R but regions are keyed by
+	// entry; a second region may still start there if selected via another
+	// path. Insert S at 6.
+	if _, err := cache.Insert(spec(p, 6, 8)); err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	col.Edge(2, 6)
+	res := AnalyzeExitDomination(cache.AllRegions(), col)
+	if res.DominatedRegions != 0 {
+		t.Errorf("dominated = %d, want 0 (edge is internal to R)", res.DominatedRegions)
+	}
+}
+
+func TestExitDominationDuplication(t *testing.T) {
+	p := metricsProgram(t)
+	cache := codecache.New(p)
+	// R = A,B,D (selected first); S = C,D: S's entry C is reached only
+	// from A (in R); S duplicates D (2 instructions).
+	if _, err := cache.Insert(spec(p, 0, 2, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Insert(spec(p, 4, 6)); err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	col.Edge(0, 4) // A -> C executed (A's taken branch leaves R)
+	col.Edge(4, 6)
+	res := AnalyzeExitDomination(cache.AllRegions(), col)
+	if res.DominatedRegions != 1 {
+		t.Fatalf("dominated = %d, want 1", res.DominatedRegions)
+	}
+	if res.DuplicatedInstrs != p.BlockLen(6) {
+		t.Errorf("dup = %d, want %d", res.DuplicatedInstrs, p.BlockLen(6))
+	}
+}
+
+func TestAnalyzeReport(t *testing.T) {
+	p := metricsProgram(t)
+	cache := codecache.New(p)
+	r1, err := cache.Insert(codecache.Spec{
+		Entry: 0, Kind: codecache.KindTrace,
+		Blocks: []codecache.BlockSpec{{Start: 0, Len: 2}, {Start: 2, Len: 2}},
+		Cyclic: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.ExecInstrs = 900
+	r1.Traversals = 10
+	r1.CycleTraversals = 7
+	col := NewCollector()
+	col.Block(900, true)
+	col.Block(100, false)
+	col.Transitions = 5
+	rep := Analyze(cache, col, core.ProfileStats{CountersHighWater: 3, ObservedBytesHighWater: 40})
+	if rep.HitRate != 0.9 || rep.Regions != 1 || rep.CodeExpansion != 4 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.SpannedRatio != 1.0 {
+		t.Errorf("spanned = %v", rep.SpannedRatio)
+	}
+	if rep.ExecutedRatio != 0.7 {
+		t.Errorf("executed = %v", rep.ExecutedRatio)
+	}
+	if rep.CoverSet90 != 1 || !rep.CoverSet90OK {
+		t.Errorf("cover = %d/%v", rep.CoverSet90, rep.CoverSet90OK)
+	}
+	if rep.CountersHighWater != 3 {
+		t.Error("selector stats not wired")
+	}
+	if rep.ObservedPctOfCache <= 0 {
+		t.Error("observed pct not computed")
+	}
+	out := rep.String()
+	for _, want := range []string{"hit=90.00%", "regions=1", "cover90=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoopCoverage(t *testing.T) {
+	// Program: single loop A[1..2] with back edge 2->1, entry 0, exit 3.
+	ins := []isa.Instr{
+		{Op: isa.MovImm, Dst: 1, Imm: 5},
+		{Op: isa.AddImm, Dst: 1, SrcA: 1, Imm: -1},
+		{Op: isa.Br, Cond: isa.CondGt, SrcA: 1, SrcB: 0, Target: 1},
+		{Op: isa.Halt},
+	}
+	p, err := program.New(ins, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := codecache.New(p)
+	col := NewCollector()
+
+	// Cold loop: below the hotness threshold.
+	col.Edge(1, 1)
+	cov := AnalyzeLoopCoverage(p, cache, col, 100)
+	if cov.StaticLoops != 1 || cov.HotLoops != 0 {
+		t.Errorf("cold coverage = %+v", cov)
+	}
+
+	// Hot loop, nothing cached.
+	for i := 0; i < 200; i++ {
+		col.Edge(1, 1)
+	}
+	cov = AnalyzeLoopCoverage(p, cache, col, 100)
+	if cov.HotLoops != 1 || cov.Spanned != 0 || cov.HeaderCached != 0 {
+		t.Errorf("uncached coverage = %+v", cov)
+	}
+	if cov.Ratio() != 0 {
+		t.Errorf("ratio = %v", cov.Ratio())
+	}
+
+	// Non-cyclic region containing the header: cached but not spanned.
+	r, err := cache.Insert(codecache.Spec{
+		Entry: 1, Kind: codecache.KindTrace,
+		Blocks: []codecache.BlockSpec{{Start: 1, Len: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov = AnalyzeLoopCoverage(p, cache, col, 100)
+	if cov.Spanned != 0 || cov.HeaderCached != 1 {
+		t.Errorf("non-cyclic coverage = %+v", cov)
+	}
+	// Mark it cyclic (the loop block branches to itself): spanned.
+	r.Cyclic = true
+	cov = AnalyzeLoopCoverage(p, cache, col, 100)
+	if cov.Spanned != 1 || cov.Ratio() != 1 {
+		t.Errorf("cyclic coverage = %+v", cov)
+	}
+}
+
+func TestWriteRegionsCSV(t *testing.T) {
+	p := metricsProgram(t)
+	cache := codecache.New(p)
+	r, err := cache.Insert(spec(p, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ExecInstrs = 77
+	r.Traversals = 9
+	var buf strings.Builder
+	if err := WriteRegionsCSV(&buf, cache); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "id,seq,kind,entry") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], ",trace,0,2,4,") || !strings.Contains(lines[1], ",77") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestWriteRegionGraphDOT(t *testing.T) {
+	p := metricsProgram(t)
+	cache := codecache.New(p)
+	if _, err := cache.Insert(spec(p, 0, 2)); err != nil { // R0: A,B; B jmp-> 6
+		t.Fatal(err)
+	}
+	if _, err := cache.Insert(spec(p, 6, 8)); err != nil { // R1: D,E
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	col.Edge(2, 6)
+	col.Edge(2, 6)
+	var buf strings.Builder
+	if err := WriteRegionGraphDOT(&buf, cache, col); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph regions", "r0 [", "r1 [", "r0 -> r1 [label=\"2\"]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot missing %q:\n%s", want, out)
+		}
+	}
+	// Without a collector, edges appear unlabelled.
+	var buf2 strings.Builder
+	if err := WriteRegionGraphDOT(&buf2, cache, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), "r0 -> r1;") {
+		t.Errorf("unlabelled dot edge missing:\n%s", buf2.String())
+	}
+}

@@ -1,0 +1,291 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"repro/internal/codecache"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// EmittedRegion is the materialized code-cache image of a region: its
+// blocks in layout order with control flow rewritten for the layout —
+// unconditional jumps to the next-laid-out block dropped, conditional
+// branches inverted when their taken successor is laid out next, extra
+// jumps inserted where no original instruction realizes an internal edge —
+// and one exit stub per leaving direction appended after the body, leaving
+// the selected blocks contiguous (paper §2.1).
+//
+// Within Code, branch targets are offsets into Code itself. Stub slots are
+// encoded as unconditional jumps whose Target is the *original program
+// address* the exit leads to; they are the only instructions whose target
+// is not a Code offset. The image is an analysis artifact (layout quality,
+// emitted size): it is not executable by the vm package, whose programs
+// use original addresses.
+type EmittedRegion struct {
+	// Code is the emitted body followed by the exit stubs.
+	Code []isa.Instr
+	// BodyLen is the number of body instructions; Code[BodyLen:] are stubs.
+	BodyLen int
+	// BlockOffsets[i] is the Code offset of region block i.
+	BlockOffsets []int
+	// JumpsRemoved counts original unconditional jumps dropped by layout.
+	JumpsRemoved int
+	// JumpsInserted counts jumps added to realize internal edges that no
+	// original instruction could reach after layout.
+	JumpsInserted int
+	// BranchesInverted counts conditional branches whose sense was flipped
+	// because their taken successor was laid out immediately after.
+	BranchesInverted int
+	// Stubs maps each stub slot (index into Code[BodyLen:]) to the original
+	// program address it exits to; indirect exits use the sentinel
+	// IndirectStub.
+	Stubs []isa.Addr
+}
+
+// IndirectStub marks a stub for an indirect branch's unpredicted targets.
+const IndirectStub = ^isa.Addr(0)
+
+// invert returns the complementary condition.
+func invert(c isa.Cond) isa.Cond {
+	switch c {
+	case isa.CondEq:
+		return isa.CondNe
+	case isa.CondNe:
+		return isa.CondEq
+	case isa.CondLt:
+		return isa.CondGe
+	case isa.CondGe:
+		return isa.CondLt
+	case isa.CondLe:
+		return isa.CondGt
+	case isa.CondGt:
+		return isa.CondLe
+	default:
+		return c
+	}
+}
+
+// Emit lays out and rewrites the region's code.
+func Emit(p *program.Program, r *codecache.Region) (*EmittedRegion, error) {
+	order := layout(r)
+	em := &EmittedRegion{BlockOffsets: make([]int, len(r.Blocks))}
+
+	// First pass: copy block bodies in layout order, recording offsets.
+	// Block-ending instructions are handled in the second pass, where
+	// successor offsets are known.
+	type pending struct {
+		codeOff   int // offset of the block's last instruction slot (-1: none emitted yet)
+		blockIdx  int
+		layoutIdx int
+	}
+	var fixups []pending
+	for li, bi := range order {
+		b := r.Blocks[bi]
+		em.BlockOffsets[bi] = len(em.Code)
+		end := b.Start + isa.Addr(b.Len)
+		for a := b.Start; a < end-1; a++ {
+			em.Code = append(em.Code, p.At(a))
+		}
+		// Reserve the terminator slot; rewritten below.
+		fixups = append(fixups, pending{codeOff: len(em.Code), blockIdx: bi, layoutIdx: li})
+		em.Code = append(em.Code, p.At(end-1))
+	}
+	em.BodyLen = len(em.Code) // grows as jumps are inserted
+
+	// Stub allocation: one per exiting direction (each exit needs its own
+	// linkable stub, as in Dynamo). The final laid-out block's fall-through
+	// exit, if any, is special: its stub is placed first, immediately after
+	// the body, so the fall-through reaches it without an inserted jump —
+	// the classic trace layout of paper Figure 2.
+	fallStub := -1
+	addStub := func(target isa.Addr) int {
+		em.Stubs = append(em.Stubs, target)
+		return len(em.Stubs) - 1
+	}
+
+	// Second pass: rewrite terminators. Inserting jumps shifts later
+	// offsets, so collect insertions and apply them back-to-front.
+	type insertion struct {
+		after int // insert immediately after this code offset
+		jmpTo jumpTarget
+	}
+	var insertions []insertion
+	for _, f := range fixups {
+		bi := f.blockIdx
+		b := r.Blocks[bi]
+		end := b.Start + isa.Addr(b.Len)
+		last := p.At(end - 1)
+		nextLaid := -1 // block index laid out immediately after
+		if f.layoutIdx+1 < len(order) {
+			nextLaid = order[f.layoutIdx+1]
+		}
+		internal := map[isa.Addr]int{} // original successor start -> block idx
+		for _, s := range r.Succs[bi] {
+			internal[r.Blocks[s].Start] = s
+		}
+		in := last
+		switch {
+		case last.Op == isa.Halt:
+			// Kept as-is.
+		case last.Op == isa.Br:
+			taken := last.Target
+			fall := end
+			tIdx, tIn := internal[taken]
+			fIdx, fIn := internal[fall]
+			switch {
+			case tIn && nextLaid == tIdx:
+				// Invert so the hot (laid-next) successor falls through.
+				in.Cond = invert(in.Cond)
+				em.BranchesInverted++
+				if fIn {
+					in.Target = isa.Addr(blockOffPlaceholder(fIdx))
+				} else {
+					in.Target = isa.Addr(stubPlaceholder(addStub(fall)))
+				}
+			default:
+				if tIn {
+					in.Target = isa.Addr(blockOffPlaceholder(tIdx))
+				} else {
+					in.Target = isa.Addr(stubPlaceholder(addStub(taken)))
+				}
+				// Fall-through direction: laid-out next, jump, or stub
+				// (reached without a jump when this block is laid last).
+				switch {
+				case fIn && nextLaid != fIdx:
+					insertions = append(insertions, insertion{after: f.codeOff, jmpTo: jumpTarget{block: fIdx}})
+				case !fIn && nextLaid == -1:
+					fallStub = addStub(fall)
+				case !fIn:
+					insertions = append(insertions, insertion{after: f.codeOff, jmpTo: jumpTarget{stub: addStub(fall), isStub: true}})
+				}
+			}
+		case last.Op == isa.Jmp:
+			tIdx, tIn := internal[last.Target]
+			switch {
+			case tIn && nextLaid == tIdx:
+				in = isa.Instr{Op: isa.Nop} // jump removed by layout
+				em.JumpsRemoved++
+			case tIn:
+				in.Target = isa.Addr(blockOffPlaceholder(tIdx))
+			default:
+				in.Target = isa.Addr(stubPlaceholder(addStub(last.Target)))
+			}
+		case last.Op == isa.Call:
+			// Calls keep their original target (callee entry); if the
+			// callee's first block is in-region the system would inline
+			// the call edge, but the return protocol keeps the call
+			// instruction intact in real systems and here.
+			tIdx, tIn := internal[last.Target]
+			if tIn {
+				in.Target = isa.Addr(blockOffPlaceholder(tIdx))
+			} else {
+				in.Target = isa.Addr(stubPlaceholder(addStub(last.Target)))
+			}
+		case last.IsIndirect():
+			// Indirect branches keep a stub for unpredicted targets; the
+			// predicted in-region successor is reached by the dispatch
+			// logic (modeled here as the instruction itself).
+			addStub(IndirectStub)
+		default:
+			// Non-branch block end: the fall-through successor needs a
+			// jump unless laid out next (or, for the final block, a stub
+			// placed directly after the body).
+			fall := end
+			fIdx, fIn := internal[fall]
+			switch {
+			case fIn && nextLaid != fIdx:
+				insertions = append(insertions, insertion{after: f.codeOff, jmpTo: jumpTarget{block: fIdx}})
+			case !fIn && nextLaid == -1:
+				fallStub = addStub(fall)
+			case !fIn:
+				insertions = append(insertions, insertion{after: f.codeOff, jmpTo: jumpTarget{stub: addStub(fall), isStub: true}})
+			}
+		}
+		em.Code[f.codeOff] = in
+	}
+
+	// Apply insertions back-to-front so earlier offsets stay valid, then
+	// resolve placeholders.
+	for i := len(insertions) - 1; i >= 0; i-- {
+		ins := insertions[i]
+		var tgt isa.Addr
+		if ins.jmpTo.isStub {
+			tgt = isa.Addr(stubPlaceholder(ins.jmpTo.stub))
+		} else {
+			tgt = isa.Addr(blockOffPlaceholder(ins.jmpTo.block))
+		}
+		jmp := isa.Instr{Op: isa.Jmp, Target: tgt}
+		em.Code = append(em.Code[:ins.after+1], append([]isa.Instr{jmp}, em.Code[ins.after+1:]...)...)
+		em.JumpsInserted++
+		// Shift recorded block offsets after the insertion point.
+		for bi := range em.BlockOffsets {
+			if em.BlockOffsets[bi] > ins.after {
+				em.BlockOffsets[bi]++
+			}
+		}
+	}
+	em.BodyLen = len(em.Code)
+
+	// Order stubs: the final block's fall-through stub (if any) goes first
+	// so fall-through execution lands on it directly. Other stubs keep
+	// allocation order; stubSlot maps allocation index to final slot.
+	stubSlot := make([]int, len(em.Stubs))
+	for i := range stubSlot {
+		stubSlot[i] = i
+	}
+	if fallStub > 0 {
+		ordered := make([]isa.Addr, 0, len(em.Stubs))
+		ordered = append(ordered, em.Stubs[fallStub])
+		for i, tgt := range em.Stubs {
+			if i == fallStub {
+				stubSlot[i] = 0
+				continue
+			}
+			stubSlot[i] = len(ordered)
+			ordered = append(ordered, tgt)
+		}
+		em.Stubs = ordered
+	}
+
+	// Append stub slots and resolve placeholders.
+	stubBase := len(em.Code)
+	for _, target := range em.Stubs {
+		em.Code = append(em.Code, isa.Instr{Op: isa.Jmp, Target: target})
+	}
+	for i := range em.Code[:em.BodyLen] {
+		in := &em.Code[i]
+		if !in.IsBranch() || in.IsIndirect() {
+			continue
+		}
+		switch {
+		case isBlockPlaceholder(uint32(in.Target)):
+			in.Target = isa.Addr(em.BlockOffsets[blockFromPlaceholder(uint32(in.Target))])
+		case isStubPlaceholder(uint32(in.Target)):
+			in.Target = isa.Addr(stubBase + stubSlot[stubFromPlaceholder(uint32(in.Target))])
+		}
+	}
+	if len(em.Stubs) != r.Stubs {
+		return nil, fmt.Errorf("optimizer: emitted %d stubs, region accounts %d", len(em.Stubs), r.Stubs)
+	}
+	return em, nil
+}
+
+type jumpTarget struct {
+	block  int
+	stub   int
+	isStub bool
+}
+
+// Placeholder encoding for unresolved targets: high bits select the kind.
+const (
+	phBlock = 0x8000_0000
+	phStub  = 0x4000_0000
+)
+
+func blockOffPlaceholder(idx int) uint32 { return phBlock | uint32(idx) }
+func stubPlaceholder(idx int) uint32     { return phStub | uint32(idx) }
+func isBlockPlaceholder(v uint32) bool   { return v&phBlock != 0 }
+func isStubPlaceholder(v uint32) bool    { return v&phStub != 0 && v&phBlock == 0 }
+func blockFromPlaceholder(v uint32) int  { return int(v &^ uint32(phBlock)) }
+func stubFromPlaceholder(v uint32) int   { return int(v &^ uint32(phStub)) }

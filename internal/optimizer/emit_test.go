@@ -1,0 +1,163 @@
+package optimizer
+
+import (
+	"testing"
+
+	"repro/internal/codecache"
+	"repro/internal/core"
+	"repro/internal/dynopt"
+	"repro/internal/isa"
+	"repro/internal/workloads"
+)
+
+func TestEmitTrace(t *testing.T) {
+	p := optProgram(t)
+	r := region(t, p, codecache.KindTrace)
+	em, err := Emit(p, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The body holds every region instruction; B's jmp is dropped (nop'd)
+	// because C is laid out right after it.
+	if em.JumpsRemoved != 1 {
+		t.Errorf("jumps removed = %d, want 1", em.JumpsRemoved)
+	}
+	if em.JumpsInserted != 0 {
+		t.Errorf("jumps inserted = %d, want 0", em.JumpsInserted)
+	}
+	// Stubs follow the body: the cyclic trace's only exit is the final
+	// conditional's fall-through to the halt block.
+	if len(em.Stubs) != r.Stubs || len(em.Stubs) != 1 {
+		t.Fatalf("stubs = %v (region says %d)", em.Stubs, r.Stubs)
+	}
+	if em.Stubs[0] != 7 {
+		t.Errorf("stub target = %d, want 7 (the halt block)", em.Stubs[0])
+	}
+	// The final conditional branches back to the entry block's offset.
+	last := em.Code[em.BodyLen-1]
+	if last.Op != isa.Br {
+		t.Fatalf("terminator = %s", last)
+	}
+	if int(last.Target) != em.BlockOffsets[0] {
+		t.Errorf("cycle branch targets %d, entry block is at %d", last.Target, em.BlockOffsets[0])
+	}
+	// Stub slots are jumps to original addresses.
+	stub := em.Code[em.BodyLen]
+	if stub.Op != isa.Jmp || stub.Target != 7 {
+		t.Errorf("stub slot = %s", stub)
+	}
+}
+
+func TestEmitInvertsBranches(t *testing.T) {
+	// Region where the TAKEN successor of a conditional is laid out next:
+	// blocks A (cond to C), C, with B excluded, so layout A,C inverts the
+	// branch to fall into C and stubs the old fall-through B.
+	p := optProgram(t)
+	c := codecache.New(p)
+	r, err := c.Insert(codecache.Spec{
+		Entry: 5,
+		Kind:  codecache.KindMultipath,
+		Blocks: []codecache.BlockSpec{
+			{Start: 5, Len: p.BlockLen(5)}, // C: addi, bgt -> 1
+			{Start: 1, Len: p.BlockLen(1)}, // A
+		},
+		Succs: [][]int{{1}, {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := Emit(p, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C ends with "bgt r1, r0, 1": its taken successor (A) is laid next,
+	// so the emitted branch is inverted (ble) and targets the stub for the
+	// original fall-through (7).
+	term := em.Code[em.BlockOffsets[0]+p.BlockLen(5)-1]
+	if term.Op != isa.Br || term.Cond != isa.CondLe {
+		t.Fatalf("terminator = %s, want inverted ble", term)
+	}
+	if em.BranchesInverted != 1 {
+		t.Errorf("inverted = %d, want 1", em.BranchesInverted)
+	}
+	if int(term.Target) < em.BodyLen {
+		t.Errorf("inverted branch should target a stub slot, got %d (body %d)", term.Target, em.BodyLen)
+	}
+	if got := em.Code[term.Target]; got.Target != 7 {
+		t.Errorf("stub leads to %d, want 7", got.Target)
+	}
+}
+
+// TestEmitInvariantsOverRealRuns emits every region selected by every
+// selector on several workloads and checks structural invariants.
+func TestEmitInvariantsOverRealRuns(t *testing.T) {
+	for _, bench := range []string{"gcc", "mcf", "perlbmk", "vortex"} {
+		prog := workloads.MustGet(bench).Build(60)
+		for _, selName := range []string{"net", "lei", "net+comb", "lei+comb"} {
+			sel, err := newSelector(selName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := dynopt.Run(prog, dynopt.Config{Selector: sel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range res.Cache.AllRegions() {
+				em, err := Emit(prog, r)
+				if err != nil {
+					t.Fatalf("%s/%s region %d: %v", bench, selName, r.ID, err)
+				}
+				checkEmitted(t, r, em)
+			}
+		}
+	}
+}
+
+func newSelector(name string) (core.Selector, error) {
+	switch name {
+	case "net":
+		return core.NewNET(core.DefaultParams()), nil
+	case "lei":
+		return core.NewLEI(core.DefaultParams()), nil
+	case "net+comb":
+		return core.NewCombiner(core.BaseNET, core.DefaultParams()), nil
+	default:
+		return core.NewCombiner(core.BaseLEI, core.DefaultParams()), nil
+	}
+}
+
+func checkEmitted(t *testing.T, r *codecache.Region, em *EmittedRegion) {
+	t.Helper()
+	// Stub parity with the cache's accounting.
+	if len(em.Stubs) != r.Stubs {
+		t.Errorf("region %d: %d stubs emitted, %d accounted", r.ID, len(em.Stubs), r.Stubs)
+	}
+	// Code length: body = instructions + inserted − nothing (removed jumps
+	// become nops, preserving slot count), stubs appended after.
+	wantBody := r.Instrs + em.JumpsInserted
+	if em.BodyLen != wantBody {
+		t.Errorf("region %d: body %d, want %d", r.ID, em.BodyLen, wantBody)
+	}
+	if len(em.Code) != em.BodyLen+len(em.Stubs) {
+		t.Errorf("region %d: code %d != body %d + stubs %d", r.ID, len(em.Code), em.BodyLen, len(em.Stubs))
+	}
+	// Entry block at offset 0.
+	if em.BlockOffsets[0] != 0 {
+		t.Errorf("region %d: entry block at %d", r.ID, em.BlockOffsets[0])
+	}
+	// Every direct branch in the body targets a block offset or stub slot.
+	valid := map[int]bool{}
+	for _, off := range em.BlockOffsets {
+		valid[off] = true
+	}
+	for i := em.BodyLen; i < len(em.Code); i++ {
+		valid[i] = true
+	}
+	for i, in := range em.Code[:em.BodyLen] {
+		if in.IsBranch() && !in.IsIndirect() && in.Op != isa.Call {
+			if !valid[int(in.Target)] {
+				t.Errorf("region %d: instr %d (%s) targets invalid offset", r.ID, i, in)
+			}
+		}
+	}
+}

@@ -1,0 +1,301 @@
+// Package optimizer implements the region-level optimization analyses the
+// paper discusses in §4.4. The paper argues (and Dynamo measured) that the
+// dominant dynamic optimization is code layout — removing unconditional
+// jumps and placing hot code contiguously — and that multi-path regions
+// additionally expose loop optimizations (e.g. loop-invariant code motion
+// into a preheader) that single traces cannot express because a trace has
+// nowhere outside its cycle to move an instruction.
+//
+// The optimizer here performs those analyses on selected regions: it lays
+// blocks out to maximize fall-through, counts the unconditional jumps that
+// layout removes, detects region-internal cycles, and counts loop-invariant
+// hoisting candidates, distinguishing what is legal for a cyclic trace
+// (nothing — no preheader exists) from what a multi-path region allows.
+package optimizer
+
+import (
+	"repro/internal/codecache"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Report summarizes the optimization opportunities of one region.
+type Report struct {
+	// Region identifies the region analyzed.
+	Region codecache.ID
+	// Kind is the region kind.
+	Kind codecache.Kind
+	// Blocks is the number of blocks in the region.
+	Blocks int
+	// Layout is the chosen emission order of the region's blocks (indices
+	// into Region.Blocks). Layout[0] is always the entry block.
+	Layout []int
+	// FallThroughs is the number of consecutive layout pairs connected by
+	// a region edge, so no jump is needed between them.
+	FallThroughs int
+	// JumpsRemoved is the number of unconditional direct jumps made
+	// redundant by the layout (target placed immediately after).
+	JumpsRemoved int
+	// HasCycle reports a region-internal cycle through the entry.
+	HasCycle bool
+	// InvariantCandidates is the number of instructions in the entry cycle
+	// whose operands are not written anywhere in the cycle — candidates
+	// for loop-invariant code motion.
+	InvariantCandidates int
+	// Hoistable is the number of candidates the region can actually hoist:
+	// zero for traces (a cyclic trace has no preheader, §4.4), equal to
+	// InvariantCandidates for multi-path regions.
+	Hoistable int
+	// StubBytes and CodeBytes give the region's estimated footprint split.
+	StubBytes int
+	CodeBytes int
+}
+
+// Analyze computes the optimization report for a region.
+func Analyze(p *program.Program, r *codecache.Region) Report {
+	rep := Report{
+		Region:    r.ID,
+		Kind:      r.Kind,
+		Blocks:    len(r.Blocks),
+		StubBytes: r.Stubs * codecache.StubBytes,
+		CodeBytes: r.CodeBytes,
+	}
+	rep.Layout = layout(r)
+	rep.FallThroughs, rep.JumpsRemoved = layoutGains(p, r, rep.Layout)
+	cycle := entryCycle(r)
+	rep.HasCycle = cycle != nil
+	if cycle != nil {
+		rep.InvariantCandidates = invariantCandidates(p, r, cycle)
+		if r.Kind == codecache.KindMultipath {
+			rep.Hoistable = rep.InvariantCandidates
+		}
+	}
+	return rep
+}
+
+// layout orders the region's blocks to maximize fall-through: a greedy
+// chain construction that starts at the entry and repeatedly extends the
+// chain with an unplaced successor, preferring the fall-through successor
+// of the block's last instruction.
+func layout(r *codecache.Region) []int {
+	placed := make([]bool, len(r.Blocks))
+	order := make([]int, 0, len(r.Blocks))
+	place := func(i int) {
+		placed[i] = true
+		order = append(order, i)
+	}
+	place(0)
+	for cur := 0; ; {
+		next := -1
+		// Prefer the successor that is the static fall-through so the
+		// terminating branch can be dropped or inverted.
+		ft := r.Blocks[cur].Start + isa.Addr(r.Blocks[cur].Len)
+		for _, s := range r.Succs[cur] {
+			if placed[s] {
+				continue
+			}
+			if r.Blocks[s].Start == ft {
+				next = s
+				break
+			}
+			if next < 0 {
+				next = s
+			}
+		}
+		if next < 0 {
+			// Chain ended; start a new chain at the first unplaced block.
+			for i := range r.Blocks {
+				if !placed[i] {
+					next = i
+					break
+				}
+			}
+			if next < 0 {
+				return order
+			}
+		}
+		place(next)
+		cur = next
+	}
+}
+
+// layoutGains counts consecutive layout pairs joined by region edges and
+// the unconditional jumps that become removable.
+func layoutGains(p *program.Program, r *codecache.Region, order []int) (fallThroughs, jumpsRemoved int) {
+	pos := make([]int, len(order))
+	for idx, b := range order {
+		pos[b] = idx
+	}
+	for idx, b := range order {
+		if idx+1 >= len(order) {
+			break
+		}
+		nxt := order[idx+1]
+		connected := false
+		for _, s := range r.Succs[b] {
+			if s == nxt {
+				connected = true
+				break
+			}
+		}
+		if !connected {
+			continue
+		}
+		fallThroughs++
+		end := r.Blocks[b].Start + isa.Addr(r.Blocks[b].Len)
+		last := p.At(end - 1)
+		if last.Op == isa.Jmp && last.Target == r.Blocks[nxt].Start {
+			jumpsRemoved++
+		}
+	}
+	return fallThroughs, jumpsRemoved
+}
+
+// entryCycle returns the block indices of a region-internal cycle through
+// the entry (nil when none exists): the set of blocks on some path from the
+// entry back to the entry using region edges.
+func entryCycle(r *codecache.Region) []int {
+	if !r.Cyclic {
+		return nil
+	}
+	// Blocks reachable from the entry.
+	reach := make([]bool, len(r.Blocks))
+	var fwd func(int)
+	fwd = func(i int) {
+		if reach[i] {
+			return
+		}
+		reach[i] = true
+		for _, s := range r.Succs[i] {
+			fwd(s)
+		}
+	}
+	fwd(0)
+	// Blocks that reach the entry (backward over region edges).
+	preds := make([][]int, len(r.Blocks))
+	for i, ss := range r.Succs {
+		for _, s := range ss {
+			preds[s] = append(preds[s], i)
+		}
+	}
+	toEntry := make([]bool, len(r.Blocks))
+	var bwd func(int)
+	bwd = func(i int) {
+		if toEntry[i] {
+			return
+		}
+		toEntry[i] = true
+		for _, p := range preds[i] {
+			bwd(p)
+		}
+	}
+	bwd(0)
+	var cycle []int
+	for i := range r.Blocks {
+		if reach[i] && toEntry[i] {
+			cycle = append(cycle, i)
+		}
+	}
+	return cycle
+}
+
+// invariantCandidates counts pure register-computing instructions in the
+// cycle whose source operands are not written anywhere in the cycle. The
+// paper notes such opportunities increase in dynamically selected regions
+// because an instruction may be invariant in the selected cycle even when
+// it is not invariant in the full original loop (§4.4).
+func invariantCandidates(p *program.Program, r *codecache.Region, cycle []int) int {
+	written := map[isa.Reg]bool{}
+	forEach(p, r, cycle, func(in isa.Instr) {
+		if writesReg(in) {
+			written[in.Dst] = true
+		}
+	})
+	n := 0
+	forEach(p, r, cycle, func(in isa.Instr) {
+		if !pureCompute(in) {
+			return
+		}
+		switch in.Op {
+		case isa.MovImm:
+			n++
+		case isa.Mov:
+			if !written[in.SrcA] {
+				n++
+			}
+		case isa.AddImm:
+			if !written[in.SrcA] {
+				n++
+			}
+		default:
+			if !written[in.SrcA] && !written[in.SrcB] {
+				n++
+			}
+		}
+	})
+	return n
+}
+
+func forEach(p *program.Program, r *codecache.Region, blocks []int, f func(isa.Instr)) {
+	for _, bi := range blocks {
+		b := r.Blocks[bi]
+		for a := b.Start; a < b.Start+isa.Addr(b.Len); a++ {
+			f(p.At(a))
+		}
+	}
+}
+
+func writesReg(in isa.Instr) bool {
+	switch in.Op {
+	case isa.MovImm, isa.Mov, isa.Add, isa.AddImm, isa.Sub, isa.Mul, isa.Div,
+		isa.Rem, isa.And, isa.Or, isa.Xor, isa.Shl, isa.Shr, isa.Load:
+		return true
+	default:
+		return false
+	}
+}
+
+// pureCompute reports whether the instruction only computes a register
+// value (no memory access, no control flow) and is therefore movable.
+func pureCompute(in isa.Instr) bool {
+	switch in.Op {
+	case isa.MovImm, isa.Mov, isa.Add, isa.AddImm, isa.Sub, isa.Mul, isa.Div,
+		isa.Rem, isa.And, isa.Or, isa.Xor, isa.Shl, isa.Shr:
+		return true
+	default:
+		return false
+	}
+}
+
+// Summary aggregates reports over a whole cache.
+type Summary struct {
+	Regions             int
+	Cyclic              int
+	FallThroughs        int
+	PossibleFallEdges   int
+	JumpsRemoved        int
+	InvariantCandidates int
+	Hoistable           int
+	StubBytes           int
+	CodeBytes           int
+}
+
+// Summarize analyzes every region ever selected into the cache.
+func Summarize(p *program.Program, cache *codecache.Cache) Summary {
+	var s Summary
+	for _, r := range cache.AllRegions() {
+		rep := Analyze(p, r)
+		s.Regions++
+		if rep.HasCycle {
+			s.Cyclic++
+		}
+		s.FallThroughs += rep.FallThroughs
+		s.PossibleFallEdges += len(rep.Layout) - 1
+		s.JumpsRemoved += rep.JumpsRemoved
+		s.InvariantCandidates += rep.InvariantCandidates
+		s.Hoistable += rep.Hoistable
+		s.StubBytes += rep.StubBytes
+		s.CodeBytes += rep.CodeBytes
+	}
+	return s
+}

@@ -1,0 +1,149 @@
+package optimizer
+
+import (
+	"testing"
+
+	"repro/internal/codecache"
+	"repro/internal/core"
+	"repro/internal/dynopt"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/workloads"
+)
+
+// optProgram:
+//
+//	0: movi r1, 8     H [0..0]      loop preheader-ish
+//	1: movi r2, 7     A [1..2]      r2 = 7 is loop-invariant
+//	2: add  r3, r3, r2
+//	3: nop            B [3..4]
+//	4: jmp 5
+//	5: addi r1,r1,-1  C [5..6]
+//	6: bgt r1, r0, 1  (back to A)
+//	7: halt
+func optProgram(t *testing.T) *program.Program {
+	t.Helper()
+	ins := []isa.Instr{
+		{Op: isa.MovImm, Dst: 1, Imm: 8},
+		{Op: isa.MovImm, Dst: 2, Imm: 7},
+		{Op: isa.Add, Dst: 3, SrcA: 3, SrcB: 2},
+		{Op: isa.Nop},
+		{Op: isa.Jmp, Target: 5},
+		{Op: isa.AddImm, Dst: 1, SrcA: 1, Imm: -1},
+		{Op: isa.Br, Cond: isa.CondGt, SrcA: 1, SrcB: 0, Target: 1},
+		{Op: isa.Halt},
+	}
+	// The label makes 3 a block leader so the region has a 3-block shape.
+	p, err := program.New(ins, nil, map[string]isa.Addr{"B": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func region(t *testing.T, p *program.Program, kind codecache.Kind) *codecache.Region {
+	t.Helper()
+	c := codecache.New(p)
+	spec := codecache.Spec{
+		Entry: 1,
+		Kind:  kind,
+		Blocks: []codecache.BlockSpec{
+			{Start: 1, Len: p.BlockLen(1)},
+			{Start: 3, Len: p.BlockLen(3)},
+			{Start: 5, Len: p.BlockLen(5)},
+		},
+	}
+	if kind == codecache.KindTrace {
+		spec.Cyclic = true
+	} else {
+		spec.Succs = [][]int{{1}, {2}, {0}}
+	}
+	r, err := c.Insert(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestAnalyzeTrace(t *testing.T) {
+	p := optProgram(t)
+	rep := Analyze(p, region(t, p, codecache.KindTrace))
+	if !rep.HasCycle {
+		t.Error("cycle not detected")
+	}
+	// Layout keeps chain order: A(1), B(3), C(5).
+	if len(rep.Layout) != 3 || rep.Layout[0] != 0 {
+		t.Errorf("layout = %v", rep.Layout)
+	}
+	// A->B is a fall-through already; B's jmp to 5 becomes removable when
+	// C follows B in the layout.
+	if rep.JumpsRemoved != 1 {
+		t.Errorf("jumps removed = %d, want 1", rep.JumpsRemoved)
+	}
+	if rep.FallThroughs != 2 {
+		t.Errorf("fallthroughs = %d, want 2", rep.FallThroughs)
+	}
+	// movi r2, 7 is invariant in the cycle (r2 never otherwise written);
+	// movi at 1 is a candidate. add r3 is not (r3 written in cycle); addi
+	// r1 is not (r1 written).
+	if rep.InvariantCandidates != 1 {
+		t.Errorf("invariant candidates = %d, want 1", rep.InvariantCandidates)
+	}
+	// A trace has no preheader: nothing is hoistable (paper §4.4).
+	if rep.Hoistable != 0 {
+		t.Errorf("trace hoistable = %d, want 0", rep.Hoistable)
+	}
+	if rep.StubBytes != rep.Blocks*0+rep.StubBytes { // smoke: fields populated
+		t.Error("unreachable")
+	}
+}
+
+func TestAnalyzeMultipath(t *testing.T) {
+	p := optProgram(t)
+	rep := Analyze(p, region(t, p, codecache.KindMultipath))
+	if !rep.HasCycle {
+		t.Error("cycle not detected")
+	}
+	// A multi-path region can hoist its invariant candidates.
+	if rep.Hoistable != rep.InvariantCandidates || rep.Hoistable != 1 {
+		t.Errorf("hoistable = %d, candidates = %d", rep.Hoistable, rep.InvariantCandidates)
+	}
+}
+
+func TestAnalyzeNonCyclic(t *testing.T) {
+	p := optProgram(t)
+	c := codecache.New(p)
+	r, err := c.Insert(codecache.Spec{
+		Entry:  1,
+		Kind:   codecache.KindTrace,
+		Blocks: []codecache.BlockSpec{{Start: 1, Len: p.BlockLen(1)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Analyze(p, r)
+	if rep.HasCycle || rep.InvariantCandidates != 0 || rep.Hoistable != 0 {
+		t.Errorf("non-cyclic region report = %+v", rep)
+	}
+}
+
+func TestSummarizeOverRealRun(t *testing.T) {
+	prog := workloads.MustGet("mcf").Build(100)
+	res, err := dynopt.Run(prog, dynopt.Config{Selector: core.NewLEI(core.DefaultParams())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(prog, res.Cache)
+	if s.Regions != res.Report.Regions {
+		t.Errorf("regions = %d vs %d", s.Regions, res.Report.Regions)
+	}
+	if s.Cyclic == 0 {
+		t.Error("mcf under LEI must produce cyclic regions")
+	}
+	if s.FallThroughs > s.PossibleFallEdges {
+		t.Error("more fall-throughs than layout slots")
+	}
+	if s.CodeBytes <= 0 || s.StubBytes <= 0 {
+		t.Error("byte accounting empty")
+	}
+}

@@ -1,0 +1,63 @@
+// Package profile provides the run-time profiling data structures the
+// region selectors rely on: a recycling counter pool (shared by NET, LEI,
+// and trace combination) and the circular branch-history buffer at the
+// heart of LEI (paper §3.1, Figure 5).
+package profile
+
+import "repro/internal/isa"
+
+// CounterPool associates execution counters with branch-target addresses.
+// A strength of NET that LEI preserves (paper §3.2.4) is that counters are
+// needed only for a small subset of branch targets and are recycled once a
+// region is selected; the pool tracks the maximum number of counters live
+// at any point so the paper's Figure 10 can be reproduced.
+type CounterPool struct {
+	counters  map[isa.Addr]int
+	highWater int
+	allocs    uint64
+}
+
+// NewCounterPool returns an empty pool.
+func NewCounterPool() *CounterPool {
+	return &CounterPool{counters: make(map[isa.Addr]int)}
+}
+
+// Incr increments the counter for addr, allocating it at zero first if
+// needed, and returns the new value.
+func (p *CounterPool) Incr(addr isa.Addr) int {
+	c, ok := p.counters[addr]
+	if !ok {
+		p.allocs++
+	}
+	c++
+	p.counters[addr] = c
+	if n := len(p.counters); n > p.highWater {
+		p.highWater = n
+	}
+	return c
+}
+
+// Get returns the current value of the counter for addr (zero when absent).
+func (p *CounterPool) Get(addr isa.Addr) int { return p.counters[addr] }
+
+// Release recycles the counter for addr, making its memory available for
+// another branch target. Releasing an absent counter is a no-op.
+func (p *CounterPool) Release(addr isa.Addr) { delete(p.counters, addr) }
+
+// Live returns the number of counters currently allocated.
+func (p *CounterPool) Live() int { return len(p.counters) }
+
+// HighWater returns the maximum number of counters that were live at any
+// point — the paper's measure of profiling counter memory (Figure 10).
+func (p *CounterPool) HighWater() int { return p.highWater }
+
+// Allocations returns the total number of distinct counter allocations made
+// over the run (an address re-allocated after recycling counts again).
+func (p *CounterPool) Allocations() uint64 { return p.allocs }
+
+// Reset empties the pool and clears statistics.
+func (p *CounterPool) Reset() {
+	p.counters = make(map[isa.Addr]int)
+	p.highWater = 0
+	p.allocs = 0
+}

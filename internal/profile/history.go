@@ -1,0 +1,179 @@
+package profile
+
+import "repro/internal/isa"
+
+// EntryKind classifies a history-buffer entry. LEI's buffer records every
+// taken control transfer the simulated system performs outside native
+// region execution: interpreted taken branches, the branch that enters the
+// code cache, and the stub jump that exits it. Recording the cache
+// boundary transfers is what lets FORM-TRACE reconstruct paths that pass
+// by cached regions (it stops where the path enters one) and what lets a
+// trace "grow from an existing trace" at a cache-exit target (paper §3.1
+// and Figure 5 line 9: "old follows exit from code cache").
+type EntryKind uint8
+
+const (
+	// KindInterp is an interpreted taken branch.
+	KindInterp EntryKind = iota
+	// KindEnter is a taken branch whose target is a cached region entry:
+	// control left the interpreter here. Enter entries participate in path
+	// reconstruction but never in cycle detection (Figure 5 jumps to the
+	// cache before the profiling logic runs).
+	KindEnter
+	// KindExit is a stub transfer out of the code cache: Src is the last
+	// original-code instruction of the region block that exited, Tgt is
+	// where interpretation resumed.
+	KindExit
+)
+
+// HistoryEntry is one taken control transfer in the LEI history buffer.
+type HistoryEntry struct {
+	// Src is the address of the instruction the transfer left from.
+	Src isa.Addr
+	// Tgt is the transfer target.
+	Tgt isa.Addr
+	// Kind classifies the entry.
+	Kind EntryKind
+
+	seq uint64
+}
+
+// HistoryBuffer is the circular buffer of the most recently taken branches,
+// plus the hash table of branch targets currently in the buffer, exactly as
+// required by the LEI algorithm (paper Figure 5). The buffer supports O(1)
+// insert, O(1) target lookup, iteration over the entries following a given
+// position, and truncation after a position (Figure 5, line 13).
+//
+// Positions are stable sequence numbers, not slot indices: an entry's
+// position never changes, and a position is valid only while the entry is
+// still resident. Hash entries that dangle after eviction or truncation are
+// detected lazily by re-validating the resident entry's target.
+type HistoryBuffer struct {
+	slots   []HistoryEntry
+	hash    map[isa.Addr]uint64 // target -> seq of most recent occurrence
+	first   uint64              // seq of oldest resident entry
+	next    uint64              // seq the next insert will receive
+	inserts uint64
+}
+
+// NewHistoryBuffer returns a buffer holding at most capacity entries.
+// The paper uses a capacity of 500.
+func NewHistoryBuffer(capacity int) *HistoryBuffer {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &HistoryBuffer{
+		slots: make([]HistoryEntry, capacity),
+		hash:  make(map[isa.Addr]uint64),
+	}
+}
+
+// Cap returns the buffer capacity.
+func (b *HistoryBuffer) Cap() int { return len(b.slots) }
+
+// Len returns the number of resident entries.
+func (b *HistoryBuffer) Len() int { return int(b.next - b.first) }
+
+// Inserts returns the total number of Insert calls.
+func (b *HistoryBuffer) Inserts() uint64 { return b.inserts }
+
+func (b *HistoryBuffer) slot(seq uint64) *HistoryEntry {
+	return &b.slots[seq%uint64(len(b.slots))]
+}
+
+// Insert appends a taken transfer to the buffer, evicting the oldest entry
+// when full, and returns the new entry's position.
+func (b *HistoryBuffer) Insert(src, tgt isa.Addr, kind EntryKind) uint64 {
+	b.inserts++
+	if b.next-b.first == uint64(len(b.slots)) {
+		// Evict the oldest entry; drop its hash reference if it is still
+		// the most recent occurrence of its target.
+		old := b.slot(b.first)
+		if s, ok := b.hash[old.Tgt]; ok && s == b.first {
+			delete(b.hash, old.Tgt)
+		}
+		b.first++
+	}
+	seq := b.next
+	*b.slot(seq) = HistoryEntry{Src: src, Tgt: tgt, Kind: kind, seq: seq}
+	b.next++
+	return seq
+}
+
+// resident reports whether seq names a live entry.
+func (b *HistoryBuffer) resident(seq uint64) bool { return seq >= b.first && seq < b.next }
+
+// Lookup returns the position of the most recent resident occurrence of tgt
+// strictly before the last inserted entry, mirroring Figure 5 line 6: the
+// hash is consulted after the new branch has been inserted, so a hit means
+// the target completed a cycle.
+func (b *HistoryBuffer) Lookup(tgt isa.Addr) (uint64, bool) {
+	seq, ok := b.hash[tgt]
+	if !ok || !b.resident(seq) {
+		return 0, false
+	}
+	e := b.slot(seq)
+	if e.Tgt != tgt || e.seq != seq {
+		// Dangling reference into a truncated-and-reused slot.
+		return 0, false
+	}
+	if seq == b.next-1 {
+		// The reference is to the entry just inserted; no older occurrence.
+		return 0, false
+	}
+	return seq, true
+}
+
+// SetHash points the hash at position seq for target tgt (Figure 5 lines 8
+// and 17).
+func (b *HistoryBuffer) SetHash(tgt isa.Addr, seq uint64) { b.hash[tgt] = seq }
+
+// Last returns the position of the most recently inserted entry. It panics
+// when the buffer is empty.
+func (b *HistoryBuffer) Last() uint64 {
+	if b.next == b.first {
+		panic("profile: Last on empty history buffer")
+	}
+	return b.next - 1
+}
+
+// At returns the entry at position seq. The position must be resident.
+func (b *HistoryBuffer) At(seq uint64) HistoryEntry {
+	if !b.resident(seq) {
+		panic("profile: stale history position")
+	}
+	return *b.slot(seq)
+}
+
+// After returns the entries at positions strictly greater than seq, oldest
+// first — the transfers of the just-completed cycle that FORM-TRACE walks
+// (Figure 6, line 3). seq must be resident.
+func (b *HistoryBuffer) After(seq uint64) []HistoryEntry {
+	if !b.resident(seq) {
+		panic("profile: stale history position")
+	}
+	out := make([]HistoryEntry, 0, b.next-seq-1)
+	for s := seq + 1; s < b.next; s++ {
+		out = append(out, *b.slot(s))
+	}
+	return out
+}
+
+// TruncateAfter removes every entry at a position strictly greater than seq
+// (Figure 5 line 13: once a trace has been selected the corresponding
+// branches are removed from the buffer). Hash references into the removed
+// region become dangling and are invalidated lazily by Lookup.
+func (b *HistoryBuffer) TruncateAfter(seq uint64) {
+	if !b.resident(seq) {
+		panic("profile: stale history position")
+	}
+	b.next = seq + 1
+}
+
+// Reset empties the buffer.
+func (b *HistoryBuffer) Reset() {
+	b.hash = make(map[isa.Addr]uint64)
+	b.first = 0
+	b.next = 0
+	b.inserts = 0
+}

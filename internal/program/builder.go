@@ -1,0 +1,214 @@
+package program
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Builder incrementally constructs a Program. Instructions are appended in
+// placement order; branch targets may reference labels that are defined
+// later and are fixed up in Build. The order in which functions are defined
+// determines their addresses, and therefore whether calls between them are
+// forward or backward branches — workloads use this to reproduce the
+// paper's interprocedural-cycle scenarios.
+type Builder struct {
+	instrs  []isa.Instr
+	funcs   []Function
+	labels  map[string]isa.Addr
+	fixups  []fixup
+	curFunc int // index into funcs, -1 when outside any function
+	errs    []error
+}
+
+type fixup struct {
+	at    isa.Addr
+	label string
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{labels: map[string]isa.Addr{}, curFunc: -1}
+}
+
+// PC returns the address the next instruction will occupy.
+func (b *Builder) PC() isa.Addr { return isa.Addr(len(b.instrs)) }
+
+// Func begins a new function at the current address. Any previously open
+// function is closed at this address.
+func (b *Builder) Func(name string) *Builder {
+	b.closeFunc()
+	b.funcs = append(b.funcs, Function{Name: name, Entry: b.PC()})
+	b.curFunc = len(b.funcs) - 1
+	b.Label(name)
+	return b
+}
+
+func (b *Builder) closeFunc() {
+	if b.curFunc >= 0 {
+		b.funcs[b.curFunc].End = b.PC()
+		b.curFunc = -1
+	}
+}
+
+// Label defines a label at the current address.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("duplicate label %q", name))
+		return b
+	}
+	b.labels[name] = b.PC()
+	return b
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in isa.Instr) *Builder {
+	b.instrs = append(b.instrs, in)
+	return b
+}
+
+// emitTo appends an instruction whose Target is the given label, recording a
+// fixup when the label is not yet defined.
+func (b *Builder) emitTo(in isa.Instr, label string) *Builder {
+	if addr, ok := b.labels[label]; ok {
+		in.Target = addr
+	} else {
+		b.fixups = append(b.fixups, fixup{at: b.PC(), label: label})
+	}
+	return b.Emit(in)
+}
+
+// Nop appends a nop.
+func (b *Builder) Nop() *Builder { return b.Emit(isa.Instr{Op: isa.Nop}) }
+
+// Halt appends a halt.
+func (b *Builder) Halt() *Builder { return b.Emit(isa.Instr{Op: isa.Halt}) }
+
+// MovImm appends dst = imm.
+func (b *Builder) MovImm(dst isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Instr{Op: isa.MovImm, Dst: dst, Imm: imm})
+}
+
+// Mov appends dst = src.
+func (b *Builder) Mov(dst, src isa.Reg) *Builder {
+	return b.Emit(isa.Instr{Op: isa.Mov, Dst: dst, SrcA: src})
+}
+
+// Add appends dst = a + c.
+func (b *Builder) Add(dst, a, c isa.Reg) *Builder { return b.op3(isa.Add, dst, a, c) }
+
+// AddImm appends dst = a + imm.
+func (b *Builder) AddImm(dst, a isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Instr{Op: isa.AddImm, Dst: dst, SrcA: a, Imm: imm})
+}
+
+// Sub appends dst = a - c.
+func (b *Builder) Sub(dst, a, c isa.Reg) *Builder { return b.op3(isa.Sub, dst, a, c) }
+
+// Mul appends dst = a * c.
+func (b *Builder) Mul(dst, a, c isa.Reg) *Builder { return b.op3(isa.Mul, dst, a, c) }
+
+// Div appends dst = a / c.
+func (b *Builder) Div(dst, a, c isa.Reg) *Builder { return b.op3(isa.Div, dst, a, c) }
+
+// Rem appends dst = a % c.
+func (b *Builder) Rem(dst, a, c isa.Reg) *Builder { return b.op3(isa.Rem, dst, a, c) }
+
+// And appends dst = a & c.
+func (b *Builder) And(dst, a, c isa.Reg) *Builder { return b.op3(isa.And, dst, a, c) }
+
+// Or appends dst = a | c.
+func (b *Builder) Or(dst, a, c isa.Reg) *Builder { return b.op3(isa.Or, dst, a, c) }
+
+// Xor appends dst = a ^ c.
+func (b *Builder) Xor(dst, a, c isa.Reg) *Builder { return b.op3(isa.Xor, dst, a, c) }
+
+// Shl appends dst = a << c.
+func (b *Builder) Shl(dst, a, c isa.Reg) *Builder { return b.op3(isa.Shl, dst, a, c) }
+
+// Shr appends dst = a >> c.
+func (b *Builder) Shr(dst, a, c isa.Reg) *Builder { return b.op3(isa.Shr, dst, a, c) }
+
+func (b *Builder) op3(op isa.Opcode, dst, a, c isa.Reg) *Builder {
+	return b.Emit(isa.Instr{Op: op, Dst: dst, SrcA: a, SrcB: c})
+}
+
+// Load appends dst = mem[base+imm].
+func (b *Builder) Load(dst, base isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Instr{Op: isa.Load, Dst: dst, SrcA: base, Imm: imm})
+}
+
+// Store appends mem[base+imm] = src.
+func (b *Builder) Store(base isa.Reg, imm int64, src isa.Reg) *Builder {
+	return b.Emit(isa.Instr{Op: isa.Store, SrcA: base, SrcB: src, Imm: imm})
+}
+
+// Jmp appends an unconditional jump to the label.
+func (b *Builder) Jmp(label string) *Builder {
+	return b.emitTo(isa.Instr{Op: isa.Jmp}, label)
+}
+
+// Br appends a conditional branch to the label.
+func (b *Builder) Br(cond isa.Cond, a, c isa.Reg, label string) *Builder {
+	return b.emitTo(isa.Instr{Op: isa.Br, Cond: cond, SrcA: a, SrcB: c}, label)
+}
+
+// Call appends a direct call to the label.
+func (b *Builder) Call(label string) *Builder {
+	return b.emitTo(isa.Instr{Op: isa.Call}, label)
+}
+
+// CallInd appends an indirect call through the register.
+func (b *Builder) CallInd(a isa.Reg) *Builder {
+	return b.Emit(isa.Instr{Op: isa.CallInd, SrcA: a})
+}
+
+// JmpInd appends an indirect jump through the register.
+func (b *Builder) JmpInd(a isa.Reg) *Builder {
+	return b.Emit(isa.Instr{Op: isa.JmpInd, SrcA: a})
+}
+
+// Ret appends a return.
+func (b *Builder) Ret() *Builder { return b.Emit(isa.Instr{Op: isa.Ret}) }
+
+// MovLabel appends dst = address-of(label), for building jump tables in
+// registers or memory.
+func (b *Builder) MovLabel(dst isa.Reg, label string) *Builder {
+	if addr, ok := b.labels[label]; ok {
+		return b.Emit(isa.Instr{Op: isa.MovImm, Dst: dst, Imm: int64(addr)})
+	}
+	// Record as a fixup into the Imm field via a sentinel: reuse fixups by
+	// storing the instruction index; Build patches Imm for MovImm fixups.
+	b.fixups = append(b.fixups, fixup{at: b.PC(), label: label})
+	return b.Emit(isa.Instr{Op: isa.MovImm, Dst: dst})
+}
+
+// Build resolves fixups and returns the assembled Program.
+func (b *Builder) Build() (*Program, error) {
+	b.closeFunc()
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	for _, f := range b.fixups {
+		addr, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("undefined label %q referenced at %d", f.label, f.at)
+		}
+		in := &b.instrs[f.at]
+		if in.Op == isa.MovImm {
+			in.Imm = int64(addr)
+		} else {
+			in.Target = addr
+		}
+	}
+	return New(b.instrs, b.funcs, b.labels)
+}
+
+// MustBuild is Build, panicking on error.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,201 @@
+package program
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Static control-flow analysis: dominators and natural loops over the
+// block graph. The region selectors never use this (they are dynamic by
+// design — the paper's point is that regions should follow executed paths,
+// not static structure); it exists so experiments can measure how well the
+// dynamically selected cyclic regions line up with the program's actual
+// loops (the loop-coverage study).
+
+// Loop is a natural loop: a back edge tail->header where header dominates
+// tail, plus every block that can reach the tail without passing through
+// the header.
+type Loop struct {
+	// Header is the loop-header block leader.
+	Header isa.Addr
+	// Tail is the source block of the back edge.
+	Tail isa.Addr
+	// Blocks are the loop's member block leaders, sorted ascending.
+	Blocks []isa.Addr
+}
+
+// Contains reports whether the leader is part of the loop.
+func (l Loop) Contains(b isa.Addr) bool {
+	i := sort.Search(len(l.Blocks), func(i int) bool { return l.Blocks[i] >= b })
+	return i < len(l.Blocks) && l.Blocks[i] == b
+}
+
+// cfg builds the static block graph over direct edges. Indirect edges are
+// unknown statically and simply absent, matching a conservative analysis.
+// Call-ending blocks additionally get an edge to their return point (the
+// block after the call), the usual intraprocedural treatment — otherwise
+// every loop containing a call would lose its back-edge tail to static
+// unreachability.
+func (p *Program) cfg() (succs, preds [][]int) {
+	n := p.NumBlocks()
+	succs = make([][]int, n)
+	preds = make([][]int, n)
+	addEdge := func(i int, s isa.Addr) {
+		j := p.BlockID(s)
+		if j < 0 {
+			return
+		}
+		succs[i] = append(succs[i], j)
+		preds[j] = append(preds[j], i)
+	}
+	for i, start := range p.blockStarts {
+		for _, s := range p.StaticSuccessors(start) {
+			addEdge(i, s)
+		}
+		end := p.BlockEnd(start)
+		if p.At(end-1).IsCall() && p.InRange(end) {
+			addEdge(i, end)
+		}
+	}
+	return succs, preds
+}
+
+// Dominators computes the immediate-dominator index of every block
+// reachable from the entry (Cooper–Harvey–Kennedy iterative algorithm).
+// Unreachable blocks get -1; the entry dominates itself.
+func (p *Program) Dominators() []int {
+	n := p.NumBlocks()
+	succs, preds := p.cfg()
+	// Reverse post order from the entry block.
+	order := make([]int, 0, n)
+	state := make([]uint8, n)
+	var dfs func(int)
+	dfs = func(i int) {
+		state[i] = 1
+		for _, s := range succs[i] {
+			if state[s] == 0 {
+				dfs(s)
+			}
+		}
+		order = append(order, i)
+	}
+	entry := p.BlockID(p.Entry())
+	dfs(entry)
+	rpo := make([]int, 0, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		rpo = append(rpo, order[i])
+	}
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for num, b := range rpo {
+		rpoNum[b] = num
+	}
+
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[entry] = entry
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == entry {
+				continue
+			}
+			newIdom := -1
+			for _, pr := range preds[b] {
+				if idom[pr] < 0 {
+					continue
+				}
+				if newIdom < 0 {
+					newIdom = pr
+				} else {
+					newIdom = intersect(newIdom, pr)
+				}
+			}
+			if newIdom >= 0 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether block a dominates block b, given the idom
+// array from Dominators (block indices).
+func dominates(idom []int, a, b int) bool {
+	if idom[b] < 0 {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		next := idom[b]
+		if next == b || next < 0 {
+			return false
+		}
+		b = next
+	}
+}
+
+// NaturalLoops finds every natural loop in the static CFG: for each edge
+// tail->header whose header dominates its tail, the loop body is
+// accumulated by walking predecessors from the tail until the header.
+// Loops are returned sorted by header, then tail.
+func (p *Program) NaturalLoops() []Loop {
+	succs, preds := p.cfg()
+	idom := p.Dominators()
+	var loops []Loop
+	for tail, ss := range succs {
+		for _, header := range ss {
+			if !dominates(idom, header, tail) {
+				continue
+			}
+			// Collect the loop body.
+			inLoop := map[int]bool{header: true}
+			stack := []int{tail}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if inLoop[b] {
+					continue
+				}
+				inLoop[b] = true
+				stack = append(stack, preds[b]...)
+			}
+			blocks := make([]isa.Addr, 0, len(inLoop))
+			for b := range inLoop {
+				blocks = append(blocks, p.blockStarts[b])
+			}
+			sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+			loops = append(loops, Loop{
+				Header: p.blockStarts[header],
+				Tail:   p.blockStarts[tail],
+				Blocks: blocks,
+			})
+		}
+	}
+	sort.Slice(loops, func(i, j int) bool {
+		if loops[i].Header != loops[j].Header {
+			return loops[i].Header < loops[j].Header
+		}
+		return loops[i].Tail < loops[j].Tail
+	})
+	return loops
+}

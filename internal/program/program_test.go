@@ -1,0 +1,244 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// buildLoop constructs a canonical program:
+//
+//	0: movi r1, 10        <- entry block
+//	1: addi r1, r1, -1    <- loop block (leader: branch target)
+//	2: add  r2, r2, r1
+//	3: bgt  r1, r0, 1
+//	4: halt               <- leader: follows a block end
+func buildLoop(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder()
+	b.Func("main")
+	b.MovImm(1, 10)
+	b.Label("loop")
+	b.AddImm(1, 1, -1)
+	b.Add(2, 2, 1)
+	b.Br(isa.CondGt, 1, 0, "loop")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBlockDecomposition(t *testing.T) {
+	p := buildLoop(t)
+	if p.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", p.Len())
+	}
+	wantLeaders := []isa.Addr{0, 1, 4}
+	got := p.BlockStarts()
+	if len(got) != len(wantLeaders) {
+		t.Fatalf("BlockStarts = %v, want %v", got, wantLeaders)
+	}
+	for i, w := range wantLeaders {
+		if got[i] != w {
+			t.Fatalf("BlockStarts = %v, want %v", got, wantLeaders)
+		}
+	}
+	if p.NumBlocks() != 3 {
+		t.Errorf("NumBlocks = %d, want 3", p.NumBlocks())
+	}
+	if !p.IsBlockStart(1) || p.IsBlockStart(2) {
+		t.Error("leader detection wrong at addresses 1/2")
+	}
+	if end := p.BlockEnd(1); end != 4 {
+		t.Errorf("BlockEnd(1) = %d, want 4", end)
+	}
+	if n := p.BlockLen(1); n != 3 {
+		t.Errorf("BlockLen(1) = %d, want 3", n)
+	}
+	if got := p.BlockContaining(2); got != 1 {
+		t.Errorf("BlockContaining(2) = %d, want 1", got)
+	}
+	if got := p.BlockContaining(4); got != 4 {
+		t.Errorf("BlockContaining(4) = %d, want 4", got)
+	}
+	if id := p.BlockID(1); id != 1 {
+		t.Errorf("BlockID(1) = %d, want 1", id)
+	}
+	if id := p.BlockID(2); id != -1 {
+		t.Errorf("BlockID(2) = %d, want -1", id)
+	}
+}
+
+func TestBlockBytes(t *testing.T) {
+	p := buildLoop(t)
+	// Block 1: addi(4) + add(3) + br(4) = 11 bytes.
+	if got := p.BlockBytes(1); got != 11 {
+		t.Errorf("BlockBytes(1) = %d, want 11", got)
+	}
+	if got := p.RangeBytes(0, 1); got != isa.MovImm.Bytes() {
+		t.Errorf("RangeBytes(0,1) = %d, want %d", got, isa.MovImm.Bytes())
+	}
+}
+
+func TestStaticSuccessors(t *testing.T) {
+	p := buildLoop(t)
+	// Entry block (movi) falls through to the loop.
+	succ := p.StaticSuccessors(0)
+	if len(succ) != 1 || succ[0] != 1 {
+		t.Errorf("StaticSuccessors(0) = %v, want [1]", succ)
+	}
+	// Loop block branches to itself or falls through to halt.
+	succ = p.StaticSuccessors(1)
+	if len(succ) != 2 || succ[0] != 1 || succ[1] != 4 {
+		t.Errorf("StaticSuccessors(1) = %v, want [1 4]", succ)
+	}
+	// Halt block has no successors.
+	if succ = p.StaticSuccessors(4); len(succ) != 0 {
+		t.Errorf("StaticSuccessors(4) = %v, want []", succ)
+	}
+}
+
+func TestFunctionsAndLabels(t *testing.T) {
+	b := NewBuilder()
+	b.Jmp("main")
+	b.Func("helper")
+	b.Nop()
+	b.Ret()
+	b.Func("main")
+	b.Call("helper")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := p.FuncAt(1); !ok || f.Name != "helper" {
+		t.Errorf("FuncAt(1) = %+v, %v", f, ok)
+	}
+	if f, ok := p.FuncAt(3); !ok || f.Name != "main" {
+		t.Errorf("FuncAt(3) = %+v, %v", f, ok)
+	}
+	if _, ok := p.FuncAt(0); ok {
+		t.Error("FuncAt(0) should be outside any function")
+	}
+	if a, ok := p.Label("main"); !ok || a != 3 {
+		t.Errorf("Label(main) = %d, %v", a, ok)
+	}
+	// The call to helper must be a backward branch (helper placed first).
+	call := p.At(3)
+	if call.Op != isa.Call || call.Target != 1 {
+		t.Errorf("call = %s", call)
+	}
+	funcs := p.Funcs()
+	if len(funcs) != 2 || funcs[0].End != 3 || funcs[1].End != 5 {
+		t.Errorf("Funcs = %+v", funcs)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("undefined label", func(t *testing.T) {
+		b := NewBuilder()
+		b.Jmp("nowhere")
+		b.Halt()
+		if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+			t.Errorf("err = %v, want undefined-label error", err)
+		}
+	})
+	t.Run("duplicate label", func(t *testing.T) {
+		b := NewBuilder()
+		b.Label("x")
+		b.Nop()
+		b.Label("x")
+		b.Halt()
+		if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+			t.Errorf("err = %v, want duplicate-label error", err)
+		}
+	})
+	t.Run("falls off end", func(t *testing.T) {
+		b := NewBuilder()
+		b.Nop()
+		if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "falls off") {
+			t.Errorf("err = %v, want falls-off-end error", err)
+		}
+	})
+	t.Run("empty program", func(t *testing.T) {
+		if _, err := NewBuilder().Build(); err == nil {
+			t.Error("expected error for empty program")
+		}
+	})
+	t.Run("target out of range", func(t *testing.T) {
+		_, err := New([]isa.Instr{{Op: isa.Jmp, Target: 99}, {Op: isa.Halt}}, nil, nil)
+		if err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Errorf("err = %v, want out-of-range error", err)
+		}
+	})
+	t.Run("invalid instruction", func(t *testing.T) {
+		_, err := New([]isa.Instr{{Op: isa.Br}, {Op: isa.Halt}}, nil, nil)
+		if err == nil {
+			t.Error("expected validation error")
+		}
+	})
+}
+
+func TestMovLabelFixup(t *testing.T) {
+	b := NewBuilder()
+	b.MovLabel(1, "later") // forward reference, patched via fixup
+	b.JmpInd(1)
+	b.Label("later")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.At(0); got.Op != isa.MovImm || got.Imm != 2 {
+		t.Errorf("MovLabel fixup produced %s, want movi r1, 2", got)
+	}
+	// Backward reference resolves immediately.
+	b2 := NewBuilder()
+	b2.Label("here")
+	b2.Nop()
+	b2.MovLabel(2, "here")
+	b2.Halt()
+	p2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.At(1); got.Imm != 0 {
+		t.Errorf("backward MovLabel = %s, want movi r2, 0", got)
+	}
+}
+
+func TestLabelsAreLeaders(t *testing.T) {
+	// Labels may be indirect-jump targets, so every label must begin a
+	// basic block even without an incoming direct branch.
+	b := NewBuilder()
+	b.Nop()
+	b.Nop()
+	b.Label("table_target")
+	b.Nop()
+	b.Halt()
+	p := b.MustBuild()
+	if !p.IsBlockStart(2) {
+		t.Error("label address 2 should be a block leader")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p := buildLoop(t)
+	out := p.Disassemble(0, isa.Addr(p.Len()))
+	for _, want := range []string{"func main:", "loop:", "movi r1, 10", "bgt r1, r0, 1", "halt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Disassemble missing %q in:\n%s", want, out)
+		}
+	}
+	// Clamped range must not panic.
+	_ = p.Disassemble(0, 10_000)
+}
+
+func TestVerify(t *testing.T) {
+	if err := buildLoop(t).Verify(); err != nil {
+		t.Errorf("valid program failed Verify: %v", err)
+	}
+}

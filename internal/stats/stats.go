@@ -1,0 +1,169 @@
+// Package stats provides the small numeric and table-rendering helpers the
+// experiment harness uses to present per-benchmark figures the way the
+// paper does (per-benchmark bars plus suite averages).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Geomean returns the geometric mean of positive values; non-positive
+// values are skipped. Returns 0 when nothing remains.
+func Geomean(xs []float64) float64 {
+	s, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			s += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(s / float64(n))
+}
+
+// Ratio returns a/b, or 0 when b is zero.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Table renders rows with one label column and value columns, aligned.
+type Table struct {
+	Title   string
+	Columns []string // value column headers
+	rows    []tableRow
+	formats []string
+}
+
+type tableRow struct {
+	label  string
+	values []float64
+}
+
+// NewTable creates a table; formats supplies one fmt verb per column
+// (default "%8.3f").
+func NewTable(title string, columns []string, formats ...string) *Table {
+	return &Table{Title: title, Columns: columns, formats: formats}
+}
+
+// Add appends a row.
+func (t *Table) Add(label string, values ...float64) {
+	t.rows = append(t.rows, tableRow{label: label, values: values})
+}
+
+// MeanRow appends a row holding the per-column arithmetic mean of all rows
+// added so far.
+func (t *Table) MeanRow(label string) {
+	if len(t.rows) == 0 {
+		return
+	}
+	vals := make([]float64, len(t.rows[0].values))
+	for c := range vals {
+		col := make([]float64, 0, len(t.rows))
+		for _, r := range t.rows {
+			if c < len(r.values) {
+				col = append(col, r.values[c])
+			}
+		}
+		vals[c] = Mean(col)
+	}
+	t.Add(label, vals...)
+}
+
+func (t *Table) format(c int) string {
+	if c < len(t.formats) && t.formats[c] != "" {
+		return t.formats[c]
+	}
+	return "%8.3f"
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	labelW := 10
+	for _, r := range t.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	fmt.Fprintf(&b, "  %-*s", labelW, "")
+	for c, col := range t.Columns {
+		w := len(fmt.Sprintf(t.format(c), 0.0))
+		if len(col) > w {
+			w = len(col)
+		}
+		fmt.Fprintf(&b, "  %*s", w, col)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		fmt.Fprintf(&b, "  %-*s", labelW, r.label)
+		for c, v := range r.values {
+			cell := fmt.Sprintf(t.format(c), v)
+			w := len(cell)
+			if len(t.Columns) > c && len(t.Columns[c]) > w {
+				w = len(t.Columns[c])
+			}
+			fmt.Fprintf(&b, "  %*s", w, cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	b.WriteString("| |")
+	for _, col := range t.Columns {
+		fmt.Fprintf(&b, " %s |", col)
+	}
+	b.WriteString("\n|---|")
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		fmt.Fprintf(&b, "| %s |", r.label)
+		for c, v := range r.values {
+			fmt.Fprintf(&b, " %s |", strings.TrimSpace(fmt.Sprintf(t.format(c), v)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Bar renders a simple horizontal bar scaled so that full == width runes.
+func Bar(value, full float64, width int) string {
+	if full <= 0 || value <= 0 {
+		return ""
+	}
+	n := int(value / full * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}

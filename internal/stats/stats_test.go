@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if Geomean(nil) != 0 || Geomean([]float64{-1, 0}) != 0 {
+		t.Error("degenerate geomean")
+	}
+	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("geomean = %v", got)
+	}
+	// Non-positive values are skipped.
+	if got := Geomean([]float64{2, 8, 0}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("geomean with zero = %v", got)
+	}
+}
+
+func TestGeomeanBounds(t *testing.T) {
+	// Property: min <= geomean <= max for positive inputs.
+	check := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		g := Geomean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 || Ratio(1, 0) != 0 {
+		t.Error("ratio")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("title", []string{"a", "b"}, "%5.1f", "%5.1f")
+	tb.Add("row1", 1, 2)
+	tb.Add("longer-label", 3, 4)
+	tb.MeanRow("avg")
+	out := tb.String()
+	for _, want := range []string{"title", "row1", "longer-label", "avg", "2.0", "3.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// MeanRow on empty table is a no-op.
+	empty := NewTable("", []string{"x"})
+	empty.MeanRow("avg")
+	if strings.Contains(empty.String(), "avg") {
+		t.Error("MeanRow on empty table added a row")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(5, 10, 10) != "#####" {
+		t.Errorf("bar = %q", Bar(5, 10, 10))
+	}
+	if Bar(20, 10, 10) != "##########" {
+		t.Error("bar not clamped")
+	}
+	if Bar(1, 0, 10) != "" || Bar(-1, 10, 10) != "" {
+		t.Error("degenerate bars")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("title", []string{"a", "b"}, "%5.1f", "%5.0f")
+	tb.Add("row1", 1.25, 2)
+	out := tb.Markdown()
+	for _, want := range []string{"**title**", "| | a | b |", "|---|---|---|", "| row1 | 1.2 | 2 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

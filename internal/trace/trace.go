@@ -1,0 +1,173 @@
+// Package trace records and replays the dynamic taken-branch stream that
+// drives the simulator. The paper's framework consumed streams reported by
+// Pin; this package makes the same decoupling concrete: a program can be
+// interpreted once while its stream is recorded, and any number of
+// region-selection experiments can then replay the recording without
+// re-interpreting — bit-identical to the live run.
+//
+// Encoding: a small header, then one record per taken branch holding the
+// branch kind and delta-encoded source and target addresses (varints), then
+// a trailer with the final program counter and the executed-instruction
+// count for cross-checking.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/vm"
+)
+
+var magic = [4]byte{'r', 't', 'r', '1'}
+
+// Trailer closes a recording.
+type Trailer struct {
+	// FinalPC is the halt address that ended the run.
+	FinalPC isa.Addr
+	// Instrs is the total executed instruction count.
+	Instrs uint64
+	// Branches is the number of recorded taken branches.
+	Branches uint64
+}
+
+// Writer records a taken-branch stream. It implements vm.Sink; pass it to
+// vm.Run and call Close with the run's final statistics.
+type Writer struct {
+	w        *bufio.Writer
+	prevSrc  int64
+	prevTgt  int64
+	branches uint64
+	err      error
+	closed   bool
+}
+
+// NewWriter starts a recording for a program of programLen instructions.
+func NewWriter(w io.Writer, programLen int) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(programLen))
+	if _, err := bw.Write(buf[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// TakenBranch implements vm.Sink. Errors are sticky and reported by Close.
+func (t *Writer) TakenBranch(src, tgt isa.Addr, kind vm.BranchKind) {
+	if t.err != nil || t.closed {
+		return
+	}
+	t.branches++
+	var buf [1 + 2*binary.MaxVarintLen64]byte
+	buf[0] = byte(kind) + 1 // 0 is reserved for the trailer marker
+	n := 1
+	n += binary.PutVarint(buf[n:], int64(src)-t.prevSrc)
+	n += binary.PutVarint(buf[n:], int64(tgt)-t.prevTgt)
+	t.prevSrc, t.prevTgt = int64(src), int64(tgt)
+	if _, err := t.w.Write(buf[:n]); err != nil {
+		t.err = err
+	}
+}
+
+// Close writes the trailer and flushes. The writer is unusable afterwards.
+func (t *Writer) Close(st vm.Stats) error {
+	if t.closed {
+		return errors.New("trace: writer already closed")
+	}
+	t.closed = true
+	if t.err != nil {
+		return t.err
+	}
+	var buf [1 + 2*binary.MaxVarintLen64]byte
+	buf[0] = 0 // trailer marker
+	n := 1
+	n += binary.PutUvarint(buf[n:], uint64(st.FinalPC))
+	n += binary.PutUvarint(buf[n:], st.Instrs)
+	if _, err := t.w.Write(buf[:n]); err != nil {
+		return err
+	}
+	return t.w.Flush()
+}
+
+// Branches returns the number of branches recorded so far.
+func (t *Writer) Branches() uint64 { return t.branches }
+
+// Record interprets the program under cfg while writing its stream to w,
+// returning the run's statistics.
+func Record(p *program.Program, cfg vm.Config, w io.Writer) (vm.Stats, error) {
+	tw, err := NewWriter(w, p.Len())
+	if err != nil {
+		return vm.Stats{}, err
+	}
+	st, err := vm.Run(p, cfg, tw)
+	if err != nil {
+		return st, err
+	}
+	if err := tw.Close(st); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// Replay streams a recording into sink and returns the trailer. programLen
+// guards against replaying a recording of a different program.
+func Replay(r io.Reader, programLen int, sink vm.Sink) (Trailer, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return Trailer{}, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return Trailer{}, errors.New("trace: not a trace recording")
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+		return Trailer{}, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(lenBuf[:]); int(got) != programLen {
+		return Trailer{}, fmt.Errorf("trace: recording is for a %d-instruction program, replaying against %d", got, programLen)
+	}
+	var tr Trailer
+	var prevSrc, prevTgt int64
+	for {
+		kindByte, err := br.ReadByte()
+		if err != nil {
+			return Trailer{}, fmt.Errorf("trace: truncated recording: %w", err)
+		}
+		if kindByte == 0 {
+			fpc, err := binary.ReadUvarint(br)
+			if err != nil {
+				return Trailer{}, fmt.Errorf("trace: truncated trailer: %w", err)
+			}
+			instrs, err := binary.ReadUvarint(br)
+			if err != nil {
+				return Trailer{}, fmt.Errorf("trace: truncated trailer: %w", err)
+			}
+			tr.FinalPC = isa.Addr(fpc)
+			tr.Instrs = instrs
+			return tr, nil
+		}
+		dSrc, err := binary.ReadVarint(br)
+		if err != nil {
+			return Trailer{}, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		dTgt, err := binary.ReadVarint(br)
+		if err != nil {
+			return Trailer{}, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		prevSrc += dSrc
+		prevTgt += dTgt
+		tr.Branches++
+		if sink != nil {
+			sink.TakenBranch(isa.Addr(prevSrc), isa.Addr(prevTgt), vm.BranchKind(kindByte-1))
+		}
+	}
+}

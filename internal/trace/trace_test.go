@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dynopt"
+	"repro/internal/isa"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	prog := workloads.MustGet("gzip").Build(50)
+	var buf bytes.Buffer
+	st, err := Record(prog, vm.Config{}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type ev struct {
+		src, tgt isa.Addr
+		kind     vm.BranchKind
+	}
+	var live []ev
+	if _, err := vm.Run(prog, vm.Config{}, vm.SinkFunc(func(s, g isa.Addr, k vm.BranchKind) {
+		live = append(live, ev{s, g, k})
+	})); err != nil {
+		t.Fatal(err)
+	}
+	var replayed []ev
+	tr, err := Replay(&buf, prog.Len(), vm.SinkFunc(func(s, g isa.Addr, k vm.BranchKind) {
+		replayed = append(replayed, ev{s, g, k})
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.FinalPC != st.FinalPC || tr.Instrs != st.Instrs || tr.Branches != st.Branches {
+		t.Errorf("trailer %+v vs stats %+v", tr, st)
+	}
+	if len(replayed) != len(live) {
+		t.Fatalf("replayed %d events, live %d", len(replayed), len(live))
+	}
+	for i := range live {
+		if live[i] != replayed[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, live[i], replayed[i])
+		}
+	}
+}
+
+// TestReplayedSimulationIdentical: running the simulator from a recording
+// must produce the exact report of a live run — the package's core promise.
+func TestReplayedSimulationIdentical(t *testing.T) {
+	for _, bench := range []string{"mcf", "perlbmk"} {
+		prog := workloads.MustGet(bench).Build(80)
+		var buf bytes.Buffer
+		if _, err := Record(prog, vm.Config{}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		recording := buf.Bytes()
+		for _, mk := range []func() core.Selector{
+			func() core.Selector { return core.NewNET(core.DefaultParams()) },
+			func() core.Selector { return core.NewLEI(core.DefaultParams()) },
+			func() core.Selector { return core.NewCombiner(core.BaseLEI, core.DefaultParams()) },
+		} {
+			live, err := dynopt.Run(prog, dynopt.Config{Selector: mk()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			replayed, err := dynopt.RunStream(prog, dynopt.Config{Selector: mk()},
+				func(sink vm.Sink) (isa.Addr, uint64, error) {
+					tr, err := Replay(bytes.NewReader(recording), prog.Len(), sink)
+					return tr.FinalPC, tr.Instrs, err
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if live.Report != replayed.Report {
+				t.Errorf("%s: replayed report differs from live:\n%v\nvs\n%v",
+					bench, replayed.Report, live.Report)
+			}
+		}
+	}
+}
+
+func TestReplayRejectsWrongProgram(t *testing.T) {
+	prog := workloads.MustGet("gzip").Build(5)
+	var buf bytes.Buffer
+	if _, err := Record(prog, vm.Config{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(&buf, prog.Len()+1, nil); err == nil ||
+		!strings.Contains(err.Error(), "recording is for") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReplayRejectsGarbage(t *testing.T) {
+	if _, err := Replay(strings.NewReader("not a trace"), 10, nil); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Replay(strings.NewReader(""), 10, nil); err == nil {
+		t.Error("empty accepted")
+	}
+	// Valid header, truncated body.
+	prog := workloads.MustGet("gzip").Build(5)
+	var buf bytes.Buffer
+	if _, err := Record(prog, vm.Config{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	if _, err := Replay(bytes.NewReader(cut), prog.Len(), nil); err == nil {
+		t.Error("truncated recording accepted")
+	}
+}
+
+func TestWriterDoubleClose(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(vm.Stats{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(vm.Stats{}); err == nil {
+		t.Error("double close accepted")
+	}
+	// Writes after close are dropped silently.
+	w.TakenBranch(1, 2, vm.KindJump)
+	if w.Branches() != 0 {
+		t.Error("branch recorded after close")
+	}
+}
+
+func TestRecordingIsCompact(t *testing.T) {
+	prog := workloads.MustGet("gcc").Build(20)
+	var buf bytes.Buffer
+	st, err := Record(prog, vm.Config{}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perBranch := float64(buf.Len()) / float64(st.Branches)
+	// Delta-varint encoding should average a handful of bytes per branch,
+	// far below the 9-byte fixed encoding.
+	if perBranch > 6 {
+		t.Errorf("%.2f bytes/branch; encoding not compact", perBranch)
+	}
+}

@@ -1,0 +1,302 @@
+// Package vm interprets programs for the region-selection simulator.
+//
+// The interpreter plays the role Pin played in the paper: it produces the
+// dynamic sequence of taken branches (and, implicitly, the linear
+// fall-through segments between them) that the simulated dynamic
+// optimization system consumes. Execution is fully deterministic: all
+// branch behaviour comes from the program's own computation.
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// BranchKind classifies a taken control transfer.
+type BranchKind uint8
+
+const (
+	// KindJump is a direct unconditional jump.
+	KindJump BranchKind = iota
+	// KindCond is a taken conditional branch.
+	KindCond
+	// KindCall is a direct call.
+	KindCall
+	// KindIndCall is an indirect call.
+	KindIndCall
+	// KindIndJump is an indirect jump.
+	KindIndJump
+	// KindReturn is a return.
+	KindReturn
+)
+
+// String returns a short name for the kind.
+func (k BranchKind) String() string {
+	switch k {
+	case KindJump:
+		return "jmp"
+	case KindCond:
+		return "br"
+	case KindCall:
+		return "call"
+	case KindIndCall:
+		return "calli"
+	case KindIndJump:
+		return "jmpi"
+	case KindReturn:
+		return "ret"
+	default:
+		return "?"
+	}
+}
+
+// Sink receives the dynamic taken-branch stream. Between two consecutive
+// calls, execution proceeded linearly from the previous call's tgt through
+// the current call's src (inclusive); any conditional branches inside that
+// range fell through.
+type Sink interface {
+	TakenBranch(src, tgt isa.Addr, kind BranchKind)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(src, tgt isa.Addr, kind BranchKind)
+
+// TakenBranch calls f.
+func (f SinkFunc) TakenBranch(src, tgt isa.Addr, kind BranchKind) { f(src, tgt, kind) }
+
+// Config bounds an interpretation run. Zero values select defaults.
+type Config struct {
+	// MemWords is the size of data memory in 64-bit words (default 1<<20).
+	// Addresses wrap modulo the size.
+	MemWords int
+	// MaxInstrs aborts runaway programs (default 1<<32).
+	MaxInstrs uint64
+	// MaxCallDepth bounds the return-address stack (default 1<<16).
+	MaxCallDepth int
+}
+
+func (c *Config) defaults() {
+	if c.MemWords == 0 {
+		c.MemWords = 1 << 20
+	}
+	if c.MaxInstrs == 0 {
+		c.MaxInstrs = 1 << 32
+	}
+	if c.MaxCallDepth == 0 {
+		c.MaxCallDepth = 1 << 16
+	}
+}
+
+// Stats summarizes a completed run.
+type Stats struct {
+	// Instrs is the total number of instructions executed.
+	Instrs uint64
+	// Branches is the number of taken branches.
+	Branches uint64
+	// FinalPC is the address of the halt instruction that ended the run.
+	FinalPC isa.Addr
+}
+
+// Errors returned by Run.
+var (
+	ErrMaxInstrs = errors.New("vm: instruction budget exhausted")
+	ErrCallDepth = errors.New("vm: call stack overflow")
+	ErrUnderflow = errors.New("vm: return with empty call stack")
+	ErrBadTarget = errors.New("vm: dynamic branch target out of range")
+	ErrNotLeader = errors.New("vm: indirect branch target is not a block leader")
+)
+
+// Machine is a reusable interpreter instance. The zero value is not usable;
+// construct with New.
+type Machine struct {
+	prog *program.Program
+	cfg  Config
+	regs [isa.NumRegs]int64
+	mem  []int64
+	ras  []isa.Addr // return-address stack
+}
+
+// New returns a Machine for the program.
+func New(p *program.Program, cfg Config) *Machine {
+	cfg.defaults()
+	return &Machine{prog: p, cfg: cfg, mem: make([]int64, cfg.MemWords)}
+}
+
+// Reset clears registers, memory, and the call stack so the machine can be
+// run again.
+func (m *Machine) Reset() {
+	m.regs = [isa.NumRegs]int64{}
+	for i := range m.mem {
+		m.mem[i] = 0
+	}
+	m.ras = m.ras[:0]
+}
+
+// Reg returns the current value of a register (for tests and examples).
+func (m *Machine) Reg(r isa.Reg) int64 { return m.regs[r] }
+
+// SetReg sets a register before a run (for parameterized workloads).
+func (m *Machine) SetReg(r isa.Reg, v int64) { m.regs[r] = v }
+
+// Mem returns the word at index i modulo the memory size.
+func (m *Machine) Mem(i int64) int64 { return m.mem[m.wrap(i)] }
+
+func (m *Machine) wrap(i int64) int64 {
+	n := int64(len(m.mem))
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
+}
+
+// Run interprets the program from its entry until Halt, streaming taken
+// branches to sink. sink may be nil.
+func (m *Machine) Run(sink Sink) (Stats, error) {
+	var st Stats
+	pc := m.prog.Entry()
+	p := m.prog
+	for {
+		if st.Instrs >= m.cfg.MaxInstrs {
+			return st, fmt.Errorf("%w after %d instructions at %d", ErrMaxInstrs, st.Instrs, pc)
+		}
+		if !p.InRange(pc) {
+			// A final conditional branch can fall through past the program
+			// end, and a final call's return address lies past it; both
+			// are program bugs the machine reports rather than crashes on.
+			return st, fmt.Errorf("%w: fetch at %d", ErrBadTarget, pc)
+		}
+		in := p.At(pc)
+		st.Instrs++
+		next := pc + 1
+		switch in.Op {
+		case isa.Nop:
+		case isa.Halt:
+			st.FinalPC = pc
+			return st, nil
+		case isa.MovImm:
+			m.regs[in.Dst] = in.Imm
+		case isa.Mov:
+			m.regs[in.Dst] = m.regs[in.SrcA]
+		case isa.Add:
+			m.regs[in.Dst] = m.regs[in.SrcA] + m.regs[in.SrcB]
+		case isa.AddImm:
+			m.regs[in.Dst] = m.regs[in.SrcA] + in.Imm
+		case isa.Sub:
+			m.regs[in.Dst] = m.regs[in.SrcA] - m.regs[in.SrcB]
+		case isa.Mul:
+			m.regs[in.Dst] = m.regs[in.SrcA] * m.regs[in.SrcB]
+		case isa.Div:
+			if d := m.regs[in.SrcB]; d != 0 {
+				m.regs[in.Dst] = m.regs[in.SrcA] / d
+			} else {
+				m.regs[in.Dst] = 0
+			}
+		case isa.Rem:
+			if d := m.regs[in.SrcB]; d != 0 {
+				m.regs[in.Dst] = m.regs[in.SrcA] % d
+			} else {
+				m.regs[in.Dst] = 0
+			}
+		case isa.And:
+			m.regs[in.Dst] = m.regs[in.SrcA] & m.regs[in.SrcB]
+		case isa.Or:
+			m.regs[in.Dst] = m.regs[in.SrcA] | m.regs[in.SrcB]
+		case isa.Xor:
+			m.regs[in.Dst] = m.regs[in.SrcA] ^ m.regs[in.SrcB]
+		case isa.Shl:
+			m.regs[in.Dst] = m.regs[in.SrcA] << (uint64(m.regs[in.SrcB]) & 63)
+		case isa.Shr:
+			m.regs[in.Dst] = int64(uint64(m.regs[in.SrcA]) >> (uint64(m.regs[in.SrcB]) & 63))
+		case isa.Load:
+			m.regs[in.Dst] = m.mem[m.wrap(m.regs[in.SrcA]+in.Imm)]
+		case isa.Store:
+			m.mem[m.wrap(m.regs[in.SrcA]+in.Imm)] = m.regs[in.SrcB]
+		case isa.Jmp:
+			if err := m.branch(sink, &st, pc, in.Target, KindJump); err != nil {
+				return st, err
+			}
+			next = in.Target
+		case isa.Br:
+			if in.Cond.Eval(m.regs[in.SrcA], m.regs[in.SrcB]) {
+				if err := m.branch(sink, &st, pc, in.Target, KindCond); err != nil {
+					return st, err
+				}
+				next = in.Target
+			}
+		case isa.Call:
+			if len(m.ras) >= m.cfg.MaxCallDepth {
+				return st, fmt.Errorf("%w at %d", ErrCallDepth, pc)
+			}
+			m.ras = append(m.ras, pc+1)
+			if err := m.branch(sink, &st, pc, in.Target, KindCall); err != nil {
+				return st, err
+			}
+			next = in.Target
+		case isa.CallInd:
+			tgt, err := m.dynTarget(pc, m.regs[in.SrcA])
+			if err != nil {
+				return st, err
+			}
+			if len(m.ras) >= m.cfg.MaxCallDepth {
+				return st, fmt.Errorf("%w at %d", ErrCallDepth, pc)
+			}
+			m.ras = append(m.ras, pc+1)
+			if err := m.branch(sink, &st, pc, tgt, KindIndCall); err != nil {
+				return st, err
+			}
+			next = tgt
+		case isa.JmpInd:
+			tgt, err := m.dynTarget(pc, m.regs[in.SrcA])
+			if err != nil {
+				return st, err
+			}
+			if err := m.branch(sink, &st, pc, tgt, KindIndJump); err != nil {
+				return st, err
+			}
+			next = tgt
+		case isa.Ret:
+			if len(m.ras) == 0 {
+				return st, fmt.Errorf("%w at %d", ErrUnderflow, pc)
+			}
+			tgt := m.ras[len(m.ras)-1]
+			m.ras = m.ras[:len(m.ras)-1]
+			if err := m.branch(sink, &st, pc, tgt, KindReturn); err != nil {
+				return st, err
+			}
+			next = tgt
+		default:
+			return st, fmt.Errorf("vm: unknown opcode %d at %d", in.Op, pc)
+		}
+		pc = next
+	}
+}
+
+func (m *Machine) branch(sink Sink, st *Stats, src, tgt isa.Addr, kind BranchKind) error {
+	if !m.prog.InRange(tgt) {
+		return fmt.Errorf("%w: %d -> %d", ErrBadTarget, src, tgt)
+	}
+	if !m.prog.IsBlockStart(tgt) {
+		return fmt.Errorf("%w: %d -> %d", ErrNotLeader, src, tgt)
+	}
+	st.Branches++
+	if sink != nil {
+		sink.TakenBranch(src, tgt, kind)
+	}
+	return nil
+}
+
+func (m *Machine) dynTarget(pc isa.Addr, v int64) (isa.Addr, error) {
+	if v < 0 || !m.prog.InRange(isa.Addr(v)) {
+		return 0, fmt.Errorf("%w: at %d, computed %d", ErrBadTarget, pc, v)
+	}
+	return isa.Addr(v), nil
+}
+
+// Run is a convenience wrapper: interpret p once with cfg, streaming to sink.
+func Run(p *program.Program, cfg Config, sink Sink) (Stats, error) {
+	return New(p, cfg).Run(sink)
+}

@@ -1,0 +1,135 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// The three micro-workloads reproduce the motivating scenarios of the
+// paper's Figures 2, 3 and 4. Each is registered under a "fig" name and
+// also exposed as a constructor so examples and tests can build them at a
+// chosen iteration count.
+
+func init() {
+	register(Workload{
+		Name: "fig2-loop-call",
+		Description: "loop with a function call to a lower address on its " +
+			"dominant path (paper Figure 2): NET needs two traces, LEI spans " +
+			"the interprocedural cycle with one",
+		DefaultScale: 2000,
+		Build:        func(s int) *program.Program { return LoopWithCall(scaleOr(s, 2000)) },
+	})
+	register(Workload{
+		Name: "fig3-nested-loops",
+		Description: "simple nested loops (paper Figure 3): NET duplicates " +
+			"the inner loop in the outer trace",
+		DefaultScale: 500,
+		Build:        func(s int) *program.Program { return NestedLoops(scaleOr(s, 500), 20) },
+	})
+	register(Workload{
+		Name: "fig4-unbiased",
+		Description: "an unbiased branch followed by a biased branch with a " +
+			"rejoin (paper Figure 4): NET splits and duplicates the tail; " +
+			"trace combination keeps one region",
+		DefaultScale: 3000,
+		Build:        func(s int) *program.Program { return UnbiasedBranch(scaleOr(s, 3000)) },
+	})
+}
+
+// LoopWithCall builds the Figure 2 control-flow graph: a loop whose
+// dominant path A-B-D calls a function E-F placed at a lower address, so
+// the call is a backward branch. The path through C is taken about 10% of
+// the time. The loop body runs iters times.
+func LoopWithCall(iters int) *program.Program {
+	a := newAsm()
+	// Entry jumps over the callee so that the callee sits at a lower
+	// address than its call site, making the call a backward branch.
+	a.Jmp("main")
+
+	a.Func("callee")
+	// E
+	a.work(4, 10, 11, 12)
+	a.AddImm(13, 13, 1)
+	// F
+	a.Label(a.fresh("F"))
+	a.work(3, 11, 12, 13)
+	a.Ret()
+
+	a.Func("main")
+	a.seed(0x5eed_f162)
+	a.MovImm(1, int64(iters))
+	a.Label("A")
+	a.work(3, 2, 3, 4)
+	a.randBranch(26, "C") // ~10%: A -> C
+	// B (fall-through, dominant)
+	a.work(4, 3, 4, 5)
+	a.Call("callee")
+	a.Jmp("D")
+	a.Label("C")
+	a.work(5, 4, 5, 6)
+	a.Label("D")
+	a.work(3, 5, 6, 7)
+	a.AddImm(1, 1, -1)
+	a.Br(isa.CondGt, 1, RZero, "A")
+	a.Halt()
+	return a.MustBuild()
+}
+
+// NestedLoops builds the Figure 3 control-flow graph: an outer loop A
+// falling into a self-looping inner block B, followed by C which branches
+// back to A. The outer loop runs outer times; the inner loop runs inner
+// iterations per outer iteration.
+func NestedLoops(outer, inner int) *program.Program {
+	a := newAsm()
+	a.Func("main")
+	a.MovImm(1, int64(outer))
+	a.Label("A")
+	a.work(3, 2, 3, 4)
+	a.MovImm(5, int64(inner))
+	// B: single-block inner loop with a backward self branch.
+	a.Label("B")
+	a.work(4, 10, 11, 12)
+	a.AddImm(5, 5, -1)
+	a.Br(isa.CondGt, 5, RZero, "B")
+	// C: exits the inner loop and branches back to the outer header.
+	a.Label("C")
+	a.work(3, 11, 12, 13)
+	a.AddImm(1, 1, -1)
+	a.Br(isa.CondGt, 1, RZero, "A")
+	a.Halt()
+	return a.MustBuild()
+}
+
+// UnbiasedBranch builds the Figure 4 control-flow graph inside a driving
+// loop: block A ends with a 50/50 branch to B or C, which rejoin at D; D
+// ends with a branch that goes to F 90% of the time and E 10%, and both
+// rejoin before the loop back edge.
+func UnbiasedBranch(iters int) *program.Program {
+	a := newAsm()
+	a.Func("main")
+	a.seed(0x5eed_f164)
+	a.MovImm(1, int64(iters))
+	a.Label("head")
+	// A
+	a.work(2, 2, 3, 4)
+	a.randBranch(128, "C") // 50%: A -> C
+	// B (fall-through)
+	a.work(4, 3, 4, 5)
+	a.Jmp("D")
+	a.Label("C")
+	a.work(4, 4, 5, 6)
+	a.Label("D")
+	a.work(2, 5, 6, 7)
+	a.randBranch(26, "E") // ~10%: D -> E
+	// F (fall-through, dominant)
+	a.Label("F")
+	a.work(3, 6, 7, 8)
+	a.Jmp("G")
+	a.Label("E")
+	a.work(3, 7, 8, 9)
+	a.Label("G")
+	a.AddImm(1, 1, -1)
+	a.Br(isa.CondGt, 1, RZero, "head")
+	a.Halt()
+	return a.MustBuild()
+}

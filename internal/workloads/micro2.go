@@ -1,0 +1,144 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Additional micro-workloads probing mechanisms the SPEC-shaped benchmarks
+// exercise only in aggregate: cycles closed by indirect control flow, and
+// phased execution where the hot paths change partway through the run
+// (the paper's §4.3.1 caveat that "programs have been shown to execute
+// different paths in different phases of execution").
+
+func init() {
+	register(Workload{
+		Name: "micro-retcycle",
+		Description: "a hot cycle closed by a RETURN (callee above the " +
+			"caller): only a selector that lets traces include indirect " +
+			"backward control flow can span it",
+		DefaultScale: 3000,
+		Build:        func(s int) *program.Program { return ReturnCycle(scaleOr(s, 3000)) },
+	})
+	register(Workload{
+		Name: "micro-phases",
+		Description: "two execution phases with disjoint hot paths through " +
+			"shared code: regions selected in phase 1 poorly predict " +
+			"phase 2 (paper §4.3.1's representativeness caveat)",
+		DefaultScale: 2000,
+		Build:        func(s int) *program.Program { return PhaseShift(scaleOr(s, 2000)) },
+	})
+	register(Workload{
+		Name: "micro-megamorphic",
+		Description: "an indirect call site cycling through four callees: " +
+			"every observed trace differs, stressing trace combination's " +
+			"T_min filter",
+		DefaultScale: 2500,
+		Build:        func(s int) *program.Program { return Megamorphic(scaleOr(s, 2500)) },
+	})
+}
+
+// ReturnCycle builds a loop whose back edge is the RETURN from a callee
+// placed above the caller: the call is forward, the return backward, so the
+// cycle-completing branch is indirect. NET ends traces at the backward
+// return; LEI's history buffer records returns like any taken branch and
+// spans the cycle.
+func ReturnCycle(iters int) *program.Program {
+	a := newAsm()
+	a.Func("main")
+	a.MovImm(1, int64(iters))
+	a.Label("head")
+	a.work(4, 10, 11, 12)
+	a.Call("tail") // forward call; the callee's ret closes the cycle
+	a.Label("back")
+	a.AddImm(1, 1, -1)
+	a.Br(isa.CondGt, 1, RZero, "head")
+	a.Halt()
+
+	a.Func("tail")
+	a.work(5, 11, 12, 13)
+	a.Ret()
+	return a.MustBuild()
+}
+
+// PhaseShift builds a program with two equal-length phases sharing one
+// dispatcher: phase 1 drives branch arms A/B hot, phase 2 drives C/D hot.
+func PhaseShift(iters int) *program.Program {
+	a := newAsm()
+	a.Func("main")
+	a.seed(0x00_314)
+	// Phase 1.
+	_, close1 := a.counted(1, int64(iters))
+	a.Call("kernel_ab")
+	close1()
+	// Phase 2.
+	_, close2 := a.counted(1, int64(iters))
+	a.Call("kernel_cd")
+	close2()
+	a.Halt()
+
+	a.Func("kernel_ab")
+	armB := a.fresh("armB")
+	join1 := a.fresh("join")
+	a.randBranch(128, armB)
+	a.work(5, 10, 11, 12) // arm A
+	a.Jmp(join1)
+	a.Label(armB)
+	a.work(5, 11, 12, 13)
+	a.Label(join1)
+	a.Call("shared")
+	a.Ret()
+
+	a.Func("kernel_cd")
+	armD := a.fresh("armD")
+	join2 := a.fresh("join")
+	a.randBranch(128, armD)
+	a.work(5, 12, 13, 14) // arm C
+	a.Jmp(join2)
+	a.Label(armD)
+	a.work(5, 13, 14, 15)
+	a.Label(join2)
+	a.Call("shared")
+	a.Ret()
+
+	a.Func("shared")
+	a.work(4, 14, 15, 16)
+	a.Ret()
+	return a.MustBuild()
+}
+
+// Megamorphic builds a loop whose body calls through a function pointer
+// that cycles deterministically through four distinct callees.
+func Megamorphic(iters int) *program.Program {
+	a := newAsm()
+	a.Jmp("main")
+
+	callees := []string{"impl0", "impl1", "impl2", "impl3"}
+	for i, c := range callees {
+		a.Func(c)
+		a.work(3+i, 10, 11, 12)
+		a.Ret()
+	}
+
+	a.Func("main")
+	a.MovImm(2, 256) // table base
+	for i, c := range callees {
+		a.MovLabel(3, c)
+		a.Store(2, int64(i), 3)
+	}
+	a.MovImm(4, 0) // rotor
+	_, closeLoop := a.counted(1, int64(iters))
+	{
+		a.work(2, 11, 12, 13)
+		a.MovImm(5, 3)
+		a.And(6, 4, 5)
+		a.Add(7, 2, 6)
+		a.Load(8, 7, 0)
+		a.CallInd(8)
+		a.AddImm(4, 4, 1)
+		a.work(2, 12, 13, 14)
+	}
+	closeLoop()
+	a.Halt()
+	return a.MustBuild()
+}

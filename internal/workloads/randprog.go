@@ -1,0 +1,141 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// GenConfig parameterizes the random structured-program generator.
+type GenConfig struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Funcs is the number of callable helper functions (0–8).
+	Funcs int
+	// MaxDepth bounds construct nesting.
+	MaxDepth int
+	// Iters scales loop trip counts.
+	Iters int
+	// Constructs is the number of top-level constructs in main.
+	Constructs int
+}
+
+func (c *GenConfig) defaults() {
+	if c.Funcs < 0 {
+		c.Funcs = 0
+	}
+	if c.Funcs > 8 {
+		c.Funcs = 8
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 3
+	}
+	if c.Iters <= 0 {
+		c.Iters = 30
+	}
+	if c.Constructs <= 0 {
+		c.Constructs = 6
+	}
+}
+
+// Random generates a structured random program that always terminates:
+// every loop is counted, recursion is absent, and random branch outcomes
+// come from the in-program LCG. It is the substrate for property-based
+// tests: any generated program must run identically under every selector
+// and yield consistent metrics.
+func Random(cfg GenConfig) *program.Program {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	a := newAsm()
+	if cfg.Funcs > 0 {
+		a.Jmp("main")
+	}
+	g := &generator{asm: a, rng: rng, cfg: cfg}
+	// Helper functions first (lower addresses: calls are backward).
+	for i := 0; i < cfg.Funcs; i++ {
+		name := fmt.Sprintf("fn%d", i)
+		g.funcs = append(g.funcs, name)
+		a.Func(name)
+		// Functions may call earlier functions only, so the call graph is
+		// acyclic and depth-bounded. Function loops draw from a different
+		// register range than main's so a call inside a main loop does not
+		// clobber the live induction variable. (Even with a clobber the
+		// program would terminate — counters are reset on loop entry and
+		// only ever decremented afterwards — but the loop shape would be
+		// distorted.)
+		g.regBase, g.regSpan = 10, 8
+		g.callable = g.funcs[:i]
+		g.block(2)
+		for c := 0; c < 1+rng.Intn(2); c++ {
+			g.construct(1)
+		}
+		a.Ret()
+	}
+	a.Func("main")
+	a.seed(int64(rng.Uint64()>>1) | 1)
+	g.regBase, g.regSpan = 1, 9
+	g.callable = g.funcs
+	for c := 0; c < cfg.Constructs; c++ {
+		g.construct(cfg.MaxDepth)
+	}
+	a.Halt()
+	return a.MustBuild()
+}
+
+type generator struct {
+	asm      *asm
+	rng      *rand.Rand
+	cfg      GenConfig
+	funcs    []string
+	callable []string
+	loopReg  int // next loop register offset (cycled within the span)
+	regBase  int // first loop register of the current context
+	regSpan  int // number of loop registers available
+}
+
+// block emits a straight-line block of 1..n work instructions.
+func (g *generator) block(n int) {
+	g.asm.work(1+g.rng.Intn(n*2), 20, 21, 22)
+}
+
+// nextLoopReg cycles the context's loop registers so nested loops do not
+// clobber each other.
+func (g *generator) nextLoopReg() isa.Reg {
+	g.loopReg = (g.loopReg + 1) % g.regSpan
+	return isa.Reg(g.regBase + g.loopReg)
+}
+
+// construct emits one random structured construct.
+func (g *generator) construct(depth int) {
+	choices := 3 // work, if-else, loop
+	if len(g.callable) > 0 {
+		choices = 4
+	}
+	if depth <= 0 {
+		g.block(3)
+		return
+	}
+	switch g.rng.Intn(choices) {
+	case 0:
+		g.block(4)
+	case 1: // if-else with random bias
+		alt := g.asm.fresh("ralt")
+		join := g.asm.fresh("rjoin")
+		g.asm.randBranch(16+g.rng.Intn(224), alt)
+		g.construct(depth - 1)
+		g.asm.Jmp(join)
+		g.asm.Label(alt)
+		g.construct(depth - 1)
+		g.asm.Label(join)
+	case 2: // counted loop
+		reg := g.nextLoopReg()
+		iters := 2 + g.rng.Intn(g.cfg.Iters)
+		_, closeLoop := g.asm.counted(reg, int64(iters))
+		g.construct(depth - 1)
+		closeLoop()
+	case 3: // call
+		g.asm.Call(g.callable[g.rng.Intn(len(g.callable))])
+	}
+}

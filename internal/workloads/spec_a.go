@@ -1,0 +1,392 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// First half of the SPECint2000-named synthetic benchmarks. Each models
+// the control-flow character the paper's discussion (and the benchmarks'
+// well-known structure) attributes to its namesake; see the per-benchmark
+// comments.
+
+func init() {
+	register(Workload{
+		Name: "gzip",
+		Description: "compression: simple, strongly biased loop nest with a " +
+			"forward hash-update call; very few hot paths (small cover sets)",
+		DefaultScale: 1500,
+		Build:        func(s int) *program.Program { return buildGzip(s, 0) },
+		BuildSeeded:  buildGzip,
+	})
+	register(Workload{
+		Name: "vpr",
+		Description: "placement: annealing-style loop with a moderately " +
+			"unbiased accept/reject branch whose arms rejoin, plus a cost call",
+		DefaultScale: 4000,
+		Build:        func(s int) *program.Program { return buildVpr(s, 0) },
+		BuildSeeded:  buildVpr,
+	})
+	register(Workload{
+		Name: "gcc",
+		Description: "compiler: very many hot paths — a 16-way dispatch loop " +
+			"with per-case unbiased branching, shared helpers, and two phases",
+		DefaultScale: 500,
+		Build:        func(s int) *program.Program { return buildGcc(s, 0) },
+		BuildSeeded:  buildGcc,
+	})
+	register(Workload{
+		Name: "mcf",
+		Description: "network simplex: tight pointer-chasing loops over memory " +
+			"with a pricing call on the dominant path (interprocedural cycle)",
+		DefaultScale: 800,
+		Build:        func(s int) *program.Program { return buildMcf(s, 0) },
+		BuildSeeded:  buildMcf,
+	})
+	register(Workload{
+		Name: "crafty",
+		Description: "chess search: intraprocedural biased loops and recursion; " +
+			"few extra cycles for LEI to span (the paper's outlier)",
+		DefaultScale: 300,
+		Build:        func(s int) *program.Program { return buildCrafty(s, 0) },
+		BuildSeeded:  buildCrafty,
+	})
+	register(Workload{
+		Name: "parser",
+		Description: "recursive-descent parsing over a token stream; recursion " +
+			"limits cycle spanning (LEI's region-transition outlier)",
+		DefaultScale: 1500,
+		Build:        func(s int) *program.Program { return buildParser(s, 0) },
+		BuildSeeded:  buildParser,
+	})
+}
+
+// buildGzip: an LZ-style compressor shape. The outer loop scans "input";
+// an inner match loop runs a biased number of iterations; a hash-update
+// helper (placed after main, so the call is forward) is called once per
+// outer iteration. Hot code is a handful of heavily biased paths.
+func buildGzip(scale int, seed int64) *program.Program {
+	n := scaleOr(scale, 1500)
+	a := newAsm()
+	a.Func("main")
+	a.seed(0x00_971 + seed)
+	a.MovImm(2, 4096) // window base
+	_, closeOuter := a.counted(1, int64(n))
+	{
+		a.work(4, 10, 11, 12)
+		// Inner match-extension loop: ~8 iterations, biased continue.
+		a.MovImm(3, 8)
+		inner := a.fresh("match")
+		a.Label(inner)
+		a.work(5, 11, 12, 13)
+		a.Load(14, 2, 0)
+		a.AddImm(14, 14, 3)
+		a.Store(2, 0, 14)
+		a.AddImm(3, 3, -1)
+		a.Br(isa.CondGt, 3, RZero, inner)
+		// Rare "no match" path (~6%).
+		skip := a.fresh("emit")
+		a.randBranch(15, skip)
+		a.Call("hashupd")
+		a.Label(skip)
+		a.work(3, 12, 13, 14)
+	}
+	closeOuter()
+	a.Halt()
+
+	a.Func("hashupd")
+	a.work(6, 15, 16, 17)
+	a.Load(18, 2, 1)
+	a.Xor(18, 18, 15)
+	a.Store(2, 1, 18)
+	a.Ret()
+	return a.MustBuild()
+}
+
+// buildVpr: simulated-annealing placement. Each iteration proposes a swap
+// (cost call on the dominant path), then takes a roughly 45/55 accept
+// branch whose arms do different bookkeeping and rejoin at the loop end —
+// the unbiased-branch-with-rejoin shape trace combination targets.
+func buildVpr(scale int, seed int64) *program.Program {
+	n := scaleOr(scale, 4000)
+	a := newAsm()
+	// cost() sits below main so its call is a backward branch: the
+	// accept/reject cycle is interprocedural.
+	a.Jmp("main")
+
+	a.Func("cost")
+	a.work(7, 10, 11, 12)
+	a.Load(13, 2, 2)
+	a.Add(13, 13, 10)
+	a.Store(2, 2, 13)
+	a.Ret()
+
+	a.Func("main")
+	a.seed(0x00_175 + seed)
+	a.MovImm(2, 8192)
+	_, closeLoop := a.counted(1, int64(n))
+	{
+		a.work(3, 10, 11, 12)
+		a.Call("cost")
+		reject := a.fresh("reject")
+		done := a.fresh("done")
+		a.randBranch(115, reject) // ~45% reject
+		// Accept arm.
+		a.work(6, 11, 12, 13)
+		a.Load(14, 2, 3)
+		a.AddImm(14, 14, 1)
+		a.Store(2, 3, 14)
+		a.Jmp(done)
+		a.Label(reject)
+		a.work(5, 12, 13, 14)
+		a.Label(done)
+		a.work(2, 13, 14, 15)
+	}
+	closeLoop()
+	a.Halt()
+	return a.MustBuild()
+}
+
+// buildGcc: a compiler-like shape with very many frequently executed paths
+// (Ball–Larus's observation the paper cites): a 16-way indirect dispatch
+// loop whose cases each contain further unbiased branching and calls to
+// shared helpers, followed by a second phase with a different loop — so
+// different paths are hot in different phases.
+func buildGcc(scale int, seed int64) *program.Program {
+	n := scaleOr(scale, 500)
+	a := newAsm()
+	a.Func("main")
+	a.seed(0x00_176 + seed)
+	a.MovImm(2, 1024) // jump-table base
+	cases := make([]string, 16)
+	for i := range cases {
+		cases[i] = a.fresh("case")
+		a.MovLabel(3, cases[i])
+		a.Store(2, int64(i), 3)
+	}
+	// Phase 1: parse/expand-like dispatch loop.
+	_, closePhase1 := a.counted(1, int64(n*12))
+	{
+		a.Label("dispatch1")
+		a.work(2, 10, 11, 12)
+		a.randRange(4, 16)
+		a.Add(5, 2, 4)
+		a.Load(6, 5, 0)
+		a.JmpInd(6)
+		join := a.fresh("join")
+		for i, c := range cases {
+			a.Label(c)
+			a.work(2+i%4, 11, 12, 13)
+			if i%3 == 0 {
+				alt := a.fresh("alt")
+				after := a.fresh("after")
+				a.randBranch(128, alt) // unbiased split inside the case
+				a.work(3, 12, 13, 14)
+				a.Jmp(after)
+				a.Label(alt)
+				a.work(3, 13, 14, 15)
+				a.Label(after)
+			}
+			if i%4 == 1 {
+				a.Call("fold")
+			}
+			if i%4 == 3 {
+				a.Call("note")
+			}
+			a.Jmp(join)
+		}
+		a.Label(join)
+		a.work(2, 12, 13, 14)
+	}
+	closePhase1()
+	// Phase 2: regalloc-like doubly nested loop with a biased spill branch.
+	_, closeOuter := a.counted(1, int64(n*2))
+	{
+		a.MovImm(7, 12)
+		inner := a.fresh("ra")
+		a.Label(inner)
+		a.work(4, 13, 14, 15)
+		spill := a.fresh("spill")
+		cont := a.fresh("cont")
+		a.randBranch(30, spill) // ~12% spill path
+		a.work(3, 14, 15, 16)
+		a.Jmp(cont)
+		a.Label(spill)
+		a.work(5, 15, 16, 17)
+		a.Call("fold")
+		a.Label(cont)
+		a.AddImm(7, 7, -1)
+		a.Br(isa.CondGt, 7, RZero, inner)
+	}
+	closeOuter()
+	a.Halt()
+
+	a.Func("fold")
+	a.work(5, 16, 17, 18)
+	a.Ret()
+
+	a.Func("note")
+	a.work(4, 17, 18, 19)
+	a.Load(20, 2, 20)
+	a.AddImm(20, 20, 1)
+	a.Store(2, 20, 20)
+	a.Ret()
+	return a.MustBuild()
+}
+
+// buildMcf: network-simplex shape. The hot code is a pointer-chasing loop
+// over a linked structure in memory; the dominant path calls a pricing
+// function placed at a lower address, so the whole hot cycle is
+// interprocedural — exactly the Figure 2 pattern at benchmark scale.
+func buildMcf(scale int, seed int64) *program.Program {
+	n := scaleOr(scale, 800)
+	a := newAsm()
+	a.Jmp("main")
+
+	a.Func("price")
+	a.work(6, 10, 11, 12)
+	a.Load(13, 3, 1)
+	a.Add(13, 13, 10)
+	a.Store(3, 1, 13)
+	a.Ret()
+
+	a.Func("main")
+	a.seed(0x00_181 + seed)
+	// Build a ring of 64 nodes, 4 words apart, in memory: node i at
+	// 2048+4i points to node (i+7)%64.
+	a.MovImm(2, 2048)
+	a.MovImm(4, 0)
+	initLoop := a.fresh("init")
+	a.Label(initLoop)
+	a.AddImm(5, 4, 7)
+	a.MovImm(6, 63)
+	a.And(5, 5, 6)
+	a.MovImm(6, 4)
+	a.Mul(5, 5, 6)
+	a.Add(5, 5, 2)
+	a.MovImm(6, 4)
+	a.Mul(7, 4, 6)
+	a.Add(7, 7, 2)
+	a.Store(7, 0, 5)
+	a.AddImm(4, 4, 1)
+	a.MovImm(6, 64)
+	a.Br(isa.CondLt, 4, 6, initLoop)
+	// Outer passes over the ring.
+	_, closeOuter := a.counted(1, int64(n))
+	{
+		a.Mov(3, 2) // current node
+		a.MovImm(8, 48)
+		chase := a.fresh("chase")
+		a.Label(chase)
+		a.work(3, 11, 12, 13)
+		a.Call("price")
+		a.Load(3, 3, 0) // follow pointer
+		a.AddImm(8, 8, -1)
+		a.Br(isa.CondGt, 8, RZero, chase)
+		// Occasional rebalance (~8%).
+		skip := a.fresh("skip")
+		a.randBranch(235, skip)
+		a.work(6, 12, 13, 14)
+		a.Label(skip)
+	}
+	closeOuter()
+	a.Halt()
+	return a.MustBuild()
+}
+
+// buildCrafty: chess-search shape. Hot work is in self-contained, heavily
+// biased intraprocedural loops (bitboard scans) plus bounded recursion.
+// Because the hot cycles end with simple backward branches NET already
+// spans them, leaving LEI little to gain — crafty is the paper's outlier
+// for code expansion.
+func buildCrafty(scale int, seed int64) *program.Program {
+	n := scaleOr(scale, 300)
+	a := newAsm()
+	a.Func("main")
+	a.seed(0x00_186 + seed)
+	a.MovImm(2, 16384)
+	_, closeOuter := a.counted(1, int64(n))
+	{
+		a.MovImm(10, 3) // search depth
+		a.Call("search")
+		// Bitboard scan: a long, heavily biased single-block loop.
+		a.MovImm(3, 40)
+		scan := a.fresh("scan")
+		a.Label(scan)
+		a.work(6, 11, 12, 13)
+		a.AddImm(3, 3, -1)
+		a.Br(isa.CondGt, 3, RZero, scan)
+	}
+	closeOuter()
+	a.Halt()
+
+	a.Func("search")
+	// Evaluate a few "moves"; recurse while depth > 0.
+	a.work(4, 12, 13, 14)
+	a.MovImm(11, 4)
+	moves := a.fresh("moves")
+	a.Label(moves)
+	a.work(5, 13, 14, 15)
+	leaf := a.fresh("leaf")
+	a.Br(isa.CondLe, 10, RZero, leaf)
+	a.AddImm(10, 10, -1)
+	a.Call("search")
+	a.AddImm(10, 10, 1)
+	a.Label(leaf)
+	a.work(3, 14, 15, 16)
+	a.AddImm(11, 11, -1)
+	a.Br(isa.CondGt, 11, RZero, moves)
+	a.Ret()
+	return a.MustBuild()
+}
+
+// buildParser: recursive-descent shape over a token stream. Parsing
+// recursion means much of the execution is call/return chains rather than
+// compact cycles, which limits how many extra region transitions LEI can
+// remove — parser is the paper's transition outlier.
+func buildParser(scale int, seed int64) *program.Program {
+	n := scaleOr(scale, 1500)
+	a := newAsm()
+	a.Func("main")
+	a.seed(0x00_197 + seed)
+	a.MovImm(2, 32768) // token buffer
+	_, closeOuter := a.counted(1, int64(n))
+	{
+		a.work(2, 10, 11, 12)
+		a.MovImm(10, 4) // nesting depth budget
+		a.Call("expr")
+		a.work(2, 11, 12, 13)
+	}
+	closeOuter()
+	a.Halt()
+
+	a.Func("expr")
+	// term { (+|*) term }
+	a.Call("term")
+	more := a.fresh("more")
+	done := a.fresh("done")
+	a.Label(more)
+	a.randBranch(100, done) // ~39% stop
+	a.work(2, 12, 13, 14)
+	a.Call("term")
+	a.Jmp(more)
+	a.Label(done)
+	a.Ret()
+
+	a.Func("term")
+	a.work(3, 13, 14, 15)
+	paren := a.fresh("paren")
+	out := a.fresh("out")
+	a.Br(isa.CondLe, 10, RZero, out) // depth exhausted: just a token
+	a.randBranch(64, paren)          // 25%: parenthesized subexpression
+	a.work(3, 14, 15, 16)
+	a.Jmp(out)
+	a.Label(paren)
+	a.AddImm(10, 10, -1)
+	a.Call("expr")
+	a.AddImm(10, 10, 1)
+	a.Label(out)
+	a.work(2, 15, 16, 17)
+	a.Ret()
+	return a.MustBuild()
+}

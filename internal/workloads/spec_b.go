@@ -1,0 +1,338 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Second half of the SPECint2000-named synthetic benchmarks.
+
+func init() {
+	register(Workload{
+		Name: "eon",
+		Description: "ray tracing (C++): tiny constructors called from many " +
+			"hot call sites — one trace exit-dominates many others (the " +
+			"paper's exit-domination outlier)",
+		DefaultScale: 2500,
+		Build:        func(s int) *program.Program { return buildEon(s, 0) },
+		BuildSeeded:  buildEon,
+	})
+	register(Workload{
+		Name: "perlbmk",
+		Description: "interpreter: indirect opcode-dispatch loop; the hot " +
+			"cycles run through an indirect jump and helper calls",
+		DefaultScale: 900,
+		Build:        func(s int) *program.Program { return buildPerlbmk(s, 0) },
+		BuildSeeded:  buildPerlbmk,
+	})
+	register(Workload{
+		Name: "gap",
+		Description: "computer algebra: a few arithmetic kernels called " +
+			"round-robin, each an internally biased loop",
+		DefaultScale: 700,
+		Build:        func(s int) *program.Program { return buildGap(s, 0) },
+		BuildSeeded:  buildGap,
+	})
+	register(Workload{
+		Name: "vortex",
+		Description: "OO database: deep chains of small calls with short " +
+			"blocks; many related traces of similar frequency",
+		DefaultScale: 700,
+		Build:        func(s int) *program.Program { return buildVortex(s, 0) },
+		BuildSeeded:  buildVortex,
+	})
+	register(Workload{
+		Name: "bzip2",
+		Description: "block sorting: triply nested loops, biased inner compare " +
+			"loop with occasional early exit; few, large hot cycles",
+		DefaultScale: 250,
+		Build:        func(s int) *program.Program { return buildBzip2(s, 0) },
+		BuildSeeded:  buildBzip2,
+	})
+	register(Workload{
+		Name: "twolf",
+		Description: "place and route: annealing loop with an unbiased " +
+			"accept/reject branch whose arms call different update routines " +
+			"and rejoin",
+		DefaultScale: 4000,
+		Build:        func(s int) *program.Program { return buildTwolf(s, 0) },
+		BuildSeeded:  buildTwolf,
+	})
+}
+
+// buildEon: a small constructor ("ggPoint3") called from many distinct hot
+// loops. Once a trace is selected for the constructor, each caller's trace
+// stops at the (backward) call and a new trace is selected at the
+// constructor's exit — one trace exit-dominating many (paper §4.1).
+func buildEon(scale int, seed int64) *program.Program {
+	n := scaleOr(scale, 2500)
+	a := newAsm()
+	a.Jmp("main")
+
+	a.Func("ctor")
+	a.work(3, 10, 11, 12)
+	a.Store(2, 0, 10)
+	a.Store(2, 1, 11)
+	a.Store(2, 2, 12)
+	a.Ret()
+
+	a.Func("norm")
+	a.work(4, 11, 12, 13)
+	a.Call("ctor")
+	a.work(2, 12, 13, 14)
+	a.Ret()
+
+	a.Func("main")
+	a.seed(0x00_252 + seed)
+	a.MovImm(2, 4096)
+	// Six distinct hot loops, each calling the constructor (directly or
+	// through norm) from its own call site.
+	for site := 0; site < 6; site++ {
+		_, closeLoop := a.counted(1, int64(n))
+		a.work(2+site, 13, 14, 15)
+		if site%2 == 0 {
+			a.Call("ctor")
+		} else {
+			a.Call("norm")
+		}
+		a.work(3, 14, 15, 16)
+		closeLoop()
+	}
+	a.Halt()
+	return a.MustBuild()
+}
+
+// buildPerlbmk: a bytecode-interpreter shape: fetch an opcode, dispatch
+// through a jump table, execute a short handler (some call helpers), loop.
+// The hot cycle passes through an indirect jump, which LEI can keep inside
+// a single trace.
+func buildPerlbmk(scale int, seed int64) *program.Program {
+	n := scaleOr(scale, 900)
+	a := newAsm()
+	a.Jmp("main")
+
+	a.Func("magic")
+	a.work(5, 10, 11, 12)
+	a.Ret()
+
+	a.Func("main")
+	a.seed(0x00_256 + seed)
+	a.MovImm(2, 512) // opcode jump table
+	ops := make([]string, 8)
+	for i := range ops {
+		ops[i] = a.fresh("op")
+		a.MovLabel(3, ops[i])
+		a.Store(2, int64(i), 3)
+	}
+	_, closeRun := a.counted(1, int64(n*16))
+	{
+		// Fetch: ~70% of fetches are op0/op1 (a skewed opcode mix).
+		common := a.fresh("common")
+		fetch := a.fresh("fetch")
+		a.randBranch(180, common)
+		a.randRange(4, 8)
+		a.Jmp(fetch)
+		a.Label(common)
+		a.randRange(4, 2)
+		a.Label(fetch)
+		a.Add(5, 2, 4)
+		a.Load(6, 5, 0)
+		a.JmpInd(6)
+		next := a.fresh("next")
+		for i, op := range ops {
+			a.Label(op)
+			a.work(3+i%3, 11, 12, 13)
+			if i == 3 || i == 6 {
+				a.Call("magic")
+			}
+			a.Jmp(next)
+		}
+		a.Label(next)
+		a.work(2, 12, 13, 14)
+	}
+	closeRun()
+	a.Halt()
+	return a.MustBuild()
+}
+
+// buildGap: algebra kernels called round-robin from the main loop; each
+// kernel is its own biased loop, so hot cycles are interprocedural but
+// regular.
+func buildGap(scale int, seed int64) *program.Program {
+	n := scaleOr(scale, 700)
+	a := newAsm()
+	a.Jmp("main")
+
+	kernels := []string{"kmul", "kadd", "kred"}
+	for ki, k := range kernels {
+		a.Func(k)
+		a.MovImm(10, int64(6+ki*3))
+		loop := a.fresh("k")
+		a.Label(loop)
+		a.work(4+ki, 11, 12, 13)
+		a.AddImm(10, 10, -1)
+		a.Br(isa.CondGt, 10, RZero, loop)
+		a.Ret()
+	}
+
+	a.Func("main")
+	a.seed(0x00_254 + seed)
+	_, closeMain := a.counted(1, int64(n))
+	{
+		a.work(2, 12, 13, 14)
+		a.Call("kmul")
+		a.work(2, 13, 14, 15)
+		a.Call("kadd")
+		rare := a.fresh("rare")
+		a.randBranch(200, rare) // 78%: reduce
+		a.Jmp("skipred")
+		a.Label(rare)
+		a.Call("kred")
+		a.Label("skipred")
+		a.work(2, 14, 15, 16)
+	}
+	closeMain()
+	a.Halt()
+	return a.MustBuild()
+}
+
+// buildVortex: an object-database shape — lookups descend through chains
+// of small functions with short blocks, with moderately biased branches at
+// each level. Many related traces of similar frequency are selected, the
+// regime where combining traces can occasionally shorten selected paths
+// (vortex is the paper's one case where combined NET transitions rose).
+func buildVortex(scale int, seed int64) *program.Program {
+	n := scaleOr(scale, 700)
+	a := newAsm()
+	a.Jmp("main")
+
+	a.Func("chunk")
+	a.work(3, 10, 11, 12)
+	alt := "chunk_alt"
+	out := "chunk_out"
+	a.randBranch(96, alt) // 37%
+	a.work(2, 11, 12, 13)
+	a.Jmp(out)
+	a.Label(alt)
+	a.work(2, 12, 13, 14)
+	a.Label(out)
+	a.Ret()
+
+	a.Func("field")
+	a.work(2, 11, 12, 13)
+	a.Call("chunk")
+	miss := "field_miss"
+	done := "field_done"
+	a.randBranch(64, miss) // 25%
+	a.work(2, 12, 13, 14)
+	a.Jmp(done)
+	a.Label(miss)
+	a.Call("chunk")
+	a.Label(done)
+	a.Ret()
+
+	a.Func("object")
+	a.work(2, 12, 13, 14)
+	a.Call("field")
+	a.work(2, 13, 14, 15)
+	a.Call("field")
+	a.Ret()
+
+	a.Func("main")
+	a.seed(0x00_255 + seed)
+	_, closeMain := a.counted(1, int64(n))
+	{
+		a.work(2, 14, 15, 16)
+		a.Call("object")
+		upd := a.fresh("upd")
+		fin := a.fresh("fin")
+		a.randBranch(110, upd) // 43%: update variant
+		a.Call("field")
+		a.Jmp(fin)
+		a.Label(upd)
+		a.Call("object")
+		a.Label(fin)
+		a.work(2, 15, 16, 17)
+	}
+	closeMain()
+	a.Halt()
+	return a.MustBuild()
+}
+
+// buildBzip2: block-sorting shape — three-deep loop nest whose innermost
+// compare loop is heavily biased with an occasional early exit. Hot
+// execution concentrates in very few large cycles, giving small cover
+// sets, especially under LEI.
+func buildBzip2(scale int, seed int64) *program.Program {
+	n := scaleOr(scale, 250)
+	a := newAsm()
+	a.Func("main")
+	a.seed(0x00_256 + 1 + seed)
+	a.MovImm(2, 65536)
+	_, closeOuter := a.counted(1, int64(n))
+	{
+		a.MovImm(3, 10) // middle loop
+		mid := a.fresh("mid")
+		a.Label(mid)
+		a.work(3, 10, 11, 12)
+		a.MovImm(4, 24) // inner compare loop
+		inner := a.fresh("cmp")
+		brk := a.fresh("brk")
+		a.Label(inner)
+		a.Load(5, 2, 0)
+		a.work(3, 11, 12, 13)
+		a.randBranch(10, brk) // ~4% early exit
+		a.AddImm(4, 4, -1)
+		a.Br(isa.CondGt, 4, RZero, inner)
+		a.Label(brk)
+		a.work(2, 12, 13, 14)
+		a.AddImm(3, 3, -1)
+		a.Br(isa.CondGt, 3, RZero, mid)
+	}
+	closeOuter()
+	a.Halt()
+	return a.MustBuild()
+}
+
+// buildTwolf: standard-cell place and route — an annealing loop with an
+// unbiased accept branch whose arms call different update routines before
+// rejoining, atop a cost call on the dominant path.
+func buildTwolf(scale int, seed int64) *program.Program {
+	n := scaleOr(scale, 4000)
+	a := newAsm()
+	a.Jmp("main")
+
+	a.Func("delta")
+	a.work(5, 10, 11, 12)
+	a.Ret()
+
+	a.Func("commit")
+	a.work(4, 11, 12, 13)
+	a.Store(2, 4, 11)
+	a.Ret()
+
+	a.Func("revert")
+	a.work(4, 12, 13, 14)
+	a.Ret()
+
+	a.Func("main")
+	a.seed(0x00_257 + seed)
+	a.MovImm(2, 2048)
+	_, closeMain := a.counted(1, int64(n))
+	{
+		a.work(3, 13, 14, 15)
+		a.Call("delta")
+		rej := a.fresh("rej")
+		fin := a.fresh("fin")
+		a.randBranch(122, rej) // ~48% reject
+		a.Call("commit")
+		a.Jmp(fin)
+		a.Label(rej)
+		a.Call("revert")
+		a.Label(fin)
+		a.work(2, 14, 15, 16)
+	}
+	closeMain()
+	a.Halt()
+	return a.MustBuild()
+}

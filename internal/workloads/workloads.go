@@ -1,0 +1,223 @@
+// Package workloads provides the benchmark programs the reproduction runs:
+// twelve synthetic programs named after the SPECint2000 suite the paper
+// evaluated, three micro-workloads reproducing the paper's motivating
+// Figures 2–4, and a seeded random-program generator for property tests.
+//
+// The SPEC binaries themselves cannot be redistributed or executed here, so
+// each synthetic program is engineered to exhibit the control-flow
+// character the paper attributes to (or that is well known of) its
+// namesake: loop nests, interprocedural cycles, unbiased branches that
+// rejoin, indirect dispatch, recursion, and varying hot-path counts. All
+// branch behaviour is driven by in-program linear congruential generators,
+// so every run is bit-deterministic.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Register conventions shared by all workloads.
+const (
+	// RZero is never written; it always reads 0.
+	RZero isa.Reg = 0
+	// RTmpA and RTmpB are scratch registers clobbered by the emit helpers.
+	RTmpA isa.Reg = 29
+	RTmpB isa.Reg = 30
+	// RRand holds the LCG state.
+	RRand isa.Reg = 31
+)
+
+// LCG multiplier/increment (Knuth's MMIX constants).
+const (
+	lcgMul = 6364136223846793005
+	lcgInc = 1442695040888963407
+)
+
+// Workload is a named, buildable benchmark program.
+type Workload struct {
+	// Name is the benchmark identifier (e.g. "gcc").
+	Name string
+	// Description summarizes the control-flow character being modeled.
+	Description string
+	// DefaultScale is the scale passed to Build by default; roughly the
+	// main iteration count.
+	DefaultScale int
+	// Build constructs the program at the given scale (<=0 selects
+	// DefaultScale).
+	Build func(scale int) *program.Program
+	// BuildSeeded, when non-nil, constructs the program with an offset
+	// applied to its in-program PRNG seeds — the analogue of running a
+	// SPEC benchmark on a different input. The SPEC-named workloads
+	// provide it; the micro-workloads (whose behaviour is the point) do
+	// not.
+	BuildSeeded func(scale int, seed int64) *program.Program
+}
+
+// BuildDefault builds the workload at its default scale.
+func (w Workload) BuildDefault() *program.Program { return w.Build(0) }
+
+// BuildInput builds the workload with the n-th input variant (0 is the
+// default input). Workloads without seed support ignore the variant.
+func (w Workload) BuildInput(scale int, input int) *program.Program {
+	if w.BuildSeeded == nil || input == 0 {
+		return w.Build(scale)
+	}
+	// A large odd constant spreads variant seeds far apart.
+	return w.BuildSeeded(scale, int64(input)*0x1e3779b97f4a7c15)
+}
+
+var registry = map[string]Workload{}
+var order []string
+
+func register(w Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic("workloads: duplicate workload " + w.Name)
+	}
+	registry[w.Name] = w
+	order = append(order, w.Name)
+}
+
+// Get returns a registered workload by name.
+func Get(name string) (Workload, bool) {
+	w, ok := registry[name]
+	return w, ok
+}
+
+// Names returns all registered workload names, SPEC suite first in suite
+// order, then micros, then anything else alphabetically.
+func Names() []string {
+	out := append([]string(nil), order...)
+	return out
+}
+
+// SpecNames returns the twelve SPECint2000-named benchmarks in the order
+// the paper's figures list them.
+func SpecNames() []string {
+	return []string{
+		"gzip", "vpr", "gcc", "mcf", "crafty", "parser",
+		"eon", "perlbmk", "gap", "vortex", "bzip2", "twolf",
+	}
+}
+
+// Spec returns the twelve SPEC-named workloads.
+func Spec() []Workload {
+	out := make([]Workload, 0, 12)
+	for _, n := range SpecNames() {
+		w, ok := registry[n]
+		if !ok {
+			panic("workloads: missing spec workload " + n)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// MustGet returns a workload or panics.
+func MustGet(name string) Workload {
+	w, ok := registry[name]
+	if !ok {
+		known := Names()
+		sort.Strings(known)
+		panic(fmt.Sprintf("workloads: unknown workload %q (known: %v)", name, known))
+	}
+	return w
+}
+
+// asm wraps the program builder with label generation and the emit helpers
+// the workload generators share.
+type asm struct {
+	*program.Builder
+	n int
+}
+
+func newAsm() *asm { return &asm{Builder: program.NewBuilder()} }
+
+// fresh returns a unique label with the prefix.
+func (a *asm) fresh(prefix string) string {
+	a.n++
+	return fmt.Sprintf("%s_%d", prefix, a.n)
+}
+
+// seed initializes the LCG state register.
+func (a *asm) seed(v int64) {
+	a.MovImm(RRand, v)
+}
+
+// rand advances the LCG and leaves a value in [0,256) in RTmpB. Clobbers
+// RTmpA.
+func (a *asm) rand() {
+	a.MovImm(RTmpA, lcgMul)
+	a.Mul(RRand, RRand, RTmpA)
+	a.MovImm(RTmpA, lcgInc)
+	a.Add(RRand, RRand, RTmpA)
+	a.MovImm(RTmpA, 33)
+	a.Shr(RTmpB, RRand, RTmpA)
+	a.MovImm(RTmpA, 255)
+	a.And(RTmpB, RTmpB, RTmpA)
+}
+
+// randBranch branches to label with probability p/256. Clobbers RTmpA and
+// RTmpB.
+func (a *asm) randBranch(p int, label string) {
+	a.rand()
+	a.MovImm(RTmpA, int64(p))
+	a.Br(isa.CondLt, RTmpB, RTmpA, label)
+}
+
+// randRange advances the LCG and leaves a value in [0,n) in dst (n must be
+// a power of two). Clobbers RTmpA and RTmpB.
+func (a *asm) randRange(dst isa.Reg, n int) {
+	if n&(n-1) != 0 {
+		panic("workloads: randRange needs a power of two")
+	}
+	a.rand()
+	a.MovImm(RTmpA, int64(n-1))
+	a.And(dst, RTmpB, RTmpA)
+}
+
+// counted opens a loop that runs count times using reg as the induction
+// variable counting down to zero; close it with next. The loop header
+// label is returned for reference.
+func (a *asm) counted(reg isa.Reg, count int64) (header string, close func()) {
+	a.MovImm(reg, count)
+	header = a.fresh("loop")
+	a.Label(header)
+	return header, func() {
+		a.AddImm(reg, reg, -1)
+		a.Br(isa.CondGt, reg, RZero, header)
+	}
+}
+
+// work emits n filler ALU instructions mixing a few registers, giving
+// blocks realistic sizes without affecting control flow.
+func (a *asm) work(n int, regs ...isa.Reg) {
+	if len(regs) == 0 {
+		regs = []isa.Reg{20, 21, 22}
+	}
+	for i := 0; i < n; i++ {
+		d := regs[i%len(regs)]
+		s := regs[(i+1)%len(regs)]
+		switch i % 4 {
+		case 0:
+			a.Add(d, d, s)
+		case 1:
+			a.Xor(d, d, s)
+		case 2:
+			a.AddImm(d, s, int64(i+1))
+		case 3:
+			a.Sub(d, d, s)
+		}
+	}
+}
+
+// scaleOr returns scale when positive, otherwise def.
+func scaleOr(scale, def int) int {
+	if scale > 0 {
+		return scale
+	}
+	return def
+}

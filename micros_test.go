@@ -1,0 +1,160 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/workloads"
+)
+
+// Scenario tests for the extension micro-workloads (beyond the paper's
+// Figures 2-4, which are covered in repro_test.go).
+
+// TestReturnCycleScenario: a cycle closed by a RETURN. NET's trace must end
+// at the backward return, so it can never span the cycle; LEI records
+// returns in its history buffer like any taken branch and spans it.
+func TestReturnCycleScenario(t *testing.T) {
+	p := workloads.ReturnCycle(3000)
+	net := runProg(t, p, repro.SelectorNET)
+	lei := runProg(t, p, repro.SelectorLEI)
+	if net.Report.SpannedCycles != 0 {
+		t.Errorf("NET spanned %d return-closed cycles", net.Report.SpannedCycles)
+	}
+	if lei.Report.SpannedCycles == 0 {
+		t.Error("LEI spanned no cycles")
+	}
+	if lei.Report.ExecutedRatio < 0.9 {
+		t.Errorf("LEI executed-cycle ratio = %.3f, want ~1", lei.Report.ExecutedRatio)
+	}
+	if lei.Report.Transitions != 0 {
+		t.Errorf("LEI transitions = %d, want 0 (single spanning region)", lei.Report.Transitions)
+	}
+	if net.Report.Transitions < 1000 {
+		t.Errorf("NET transitions = %d, want thousands", net.Report.Transitions)
+	}
+}
+
+// TestPhaseShiftScenario: regions selected in phase 1 stop covering
+// execution when the hot kernel changes; the system recovers by selecting
+// phase-2 regions, and overall hit rate stays high. Also checks the
+// phase-2 kernel's blocks really are cached by the end.
+func TestPhaseShiftScenario(t *testing.T) {
+	p := workloads.PhaseShift(2500)
+	for _, sel := range []string{repro.SelectorNET, repro.SelectorLEI} {
+		res := runProg(t, p, sel)
+		if res.Report.HitRate < 0.95 {
+			t.Errorf("%s: hit rate %.3f; phase change not recovered", sel, res.Report.HitRate)
+		}
+		k2, _ := p.Label("kernel_cd")
+		covered := false
+		for _, r := range res.Cache.AllRegions() {
+			if r.Contains(k2) {
+				covered = true
+			}
+		}
+		if !covered {
+			t.Errorf("%s: phase-2 kernel never selected", sel)
+		}
+	}
+}
+
+// TestMegamorphicScenario: an indirect call rotating over four callees.
+// Every next-executing tail differs, so plain NET needs several traces;
+// trace combination's region should gather multiple callees behind the
+// one hot call site.
+func TestMegamorphicScenario(t *testing.T) {
+	p := workloads.Megamorphic(3000)
+	comb := runProg(t, p, repro.SelectorNETComb)
+	if comb.Report.HitRate < 0.90 {
+		t.Errorf("combined NET hit rate = %.3f", comb.Report.HitRate)
+	}
+	// At least two distinct callees must be covered by cached regions.
+	cached := 0
+	for _, name := range []string{"impl0", "impl1", "impl2", "impl3"} {
+		entry, ok := p.Label(name)
+		if !ok {
+			t.Fatalf("no label %s", name)
+		}
+		for _, r := range comb.Cache.AllRegions() {
+			if r.Contains(entry) {
+				cached++
+				break
+			}
+		}
+	}
+	if cached < 2 {
+		t.Errorf("only %d callees cached", cached)
+	}
+}
+
+// TestLinksReduced reproduces the paper's footnote 9: because the improved
+// algorithms select fewer regions with more related code inside each, they
+// need fewer inter-region links.
+func TestLinksReduced(t *testing.T) {
+	var netLinks, cleiLinks int
+	forEachBench(t, func(b string, rn, _, _, rcl metrics.Report) {
+		netLinks += rn.Links
+		cleiLinks += rcl.Links
+	})
+	if cleiLinks >= netLinks {
+		t.Errorf("links: combined LEI %d vs NET %d", cleiLinks, netLinks)
+	}
+}
+
+// TestTransitionReachReduced: the separation extension — total cache-layout
+// distance covered by transitions shrinks under LEI and under combination.
+func TestTransitionReachReduced(t *testing.T) {
+	var net, lei, clei float64
+	forEachBench(t, func(b string, rn, rl, _, rcl metrics.Report) {
+		net += float64(rn.TransitionReach)
+		lei += float64(rl.TransitionReach)
+		clei += float64(rcl.TransitionReach)
+	})
+	if lei >= net {
+		t.Errorf("transition reach: LEI %.0f vs NET %.0f", lei, net)
+	}
+	if clei >= lei {
+		t.Errorf("transition reach: cLEI %.0f vs LEI %.0f", clei, lei)
+	}
+}
+
+var _ = experiments.NET // keep import for forEachBench helpers
+
+// TestRelatedWorkScenarios: the §5 schemes behave per their descriptions on
+// the suite — they profile more (bigger counter footprints) without solving
+// exit domination.
+func TestRelatedWorkScenarios(t *testing.T) {
+	var boaDom, boaCounters, netCounters float64
+	for _, b := range []string{"gcc", "perlbmk", "vortex"} {
+		boa, err := experiments.RunOne(b, experiments.BOA, 0, experiments.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := experiments.RunOne(b, experiments.NET, 0, experiments.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		boaDom += boa.ExitDominatedRatio
+		boaCounters += float64(boa.CountersHighWater)
+		netCounters += float64(net.CountersHighWater)
+		if boa.HitRate < 0.90 {
+			t.Errorf("%s: BOA hit rate %.3f", b, boa.HitRate)
+		}
+		wrs, err := experiments.RunOne(b, experiments.WRS, 0, experiments.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wrs.Regions == 0 {
+			t.Errorf("%s: WRS selected nothing", b)
+		}
+	}
+	if boaCounters <= netCounters {
+		t.Errorf("BOA counters %.0f not above NET %.0f: per-branch profiling missing",
+			boaCounters, netCounters)
+	}
+	if boaDom < 0.3 {
+		t.Errorf("BOA exit domination %.3f: careful selection should NOT remove it (§5)", boaDom/3)
+	}
+}
