@@ -10,6 +10,7 @@
 package repro_test
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -198,6 +199,35 @@ func BenchmarkSummary(b *testing.B) {
 }
 
 // --- Component throughput benchmarks ---
+
+// BenchmarkPipeline is the headline end-to-end benchmark: the full
+// experiment matrix (every SPEC-named workload under every selector) per
+// iteration, reporting normalized throughput (ns per simulated instruction)
+// and allocation pressure (heap bytes per simulated instruction). The
+// numbers in docs/PERFORMANCE.md and BENCH_pipeline.json come from this
+// benchmark via scripts/bench.sh.
+func BenchmarkPipeline(b *testing.B) {
+	var ms0, ms1 runtime.MemStats
+	var instrs uint64
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAll(benchScale, core.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs = 0
+		for _, per := range res.Reports {
+			for _, rep := range per {
+				instrs += rep.TotalInstrs
+			}
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(instrs*uint64(b.N)), "ns/instr")
+	b.ReportMetric(float64(ms1.TotalAlloc-ms0.TotalAlloc)/float64(instrs*uint64(b.N)), "B/instr")
+}
 
 // BenchmarkVMInterpret measures raw interpreter throughput.
 func BenchmarkVMInterpret(b *testing.B) {

@@ -180,7 +180,10 @@ func (r *Region) Advance(cur int, next isa.Addr, taken bool) (nextIdx int, stay,
 type Cache struct {
 	prog    *program.Program
 	regions []*Region
-	entries map[isa.Addr]ID
+	// entries maps a region entry address to its live region ID. It is a
+	// dense slice indexed by instruction address (noEntry when absent) so
+	// the per-block Lookup/HasEntry hot path never hashes.
+	entries []ID
 	seq     uint64
 
 	// Cumulative counters. Evicted regions keep contributing: code
@@ -199,9 +202,16 @@ type Cache struct {
 	evicted []*Region
 }
 
+// noEntry marks an address that is not a cached region entry.
+const noEntry = ID(-1)
+
 // New returns an empty, unbounded cache for the program.
 func New(p *program.Program) *Cache {
-	return &Cache{prog: p, entries: make(map[isa.Addr]ID)}
+	entries := make([]ID, p.Len())
+	for i := range entries {
+		entries[i] = noEntry
+	}
+	return &Cache{prog: p, entries: entries}
 }
 
 // NewBounded returns a cache that flushes completely whenever the estimated
@@ -215,8 +225,11 @@ func NewBounded(p *program.Program, limitBytes int) *Cache {
 
 // Lookup returns the region whose entry is addr.
 func (c *Cache) Lookup(addr isa.Addr) (*Region, bool) {
-	id, ok := c.entries[addr]
-	if !ok {
+	if int(addr) >= len(c.entries) {
+		return nil, false
+	}
+	id := c.entries[addr]
+	if id == noEntry {
 		return nil, false
 	}
 	return c.regions[id], true
@@ -224,8 +237,7 @@ func (c *Cache) Lookup(addr isa.Addr) (*Region, bool) {
 
 // HasEntry reports whether addr begins a cached region.
 func (c *Cache) HasEntry(addr isa.Addr) bool {
-	_, ok := c.entries[addr]
-	return ok
+	return int(addr) < len(c.entries) && c.entries[addr] != noEntry
 }
 
 // ContainsInstr reports whether the instruction at addr has been copied
@@ -303,7 +315,7 @@ func (c *Cache) validate(spec Spec) error {
 	if spec.Blocks[0].Start != spec.Entry {
 		return fmt.Errorf("codecache: entry %d is not the first block (%d)", spec.Entry, spec.Blocks[0].Start)
 	}
-	if _, dup := c.entries[spec.Entry]; dup {
+	if c.HasEntry(spec.Entry) {
 		return fmt.Errorf("codecache: region with entry %d already cached", spec.Entry)
 	}
 	seen := make(map[isa.Addr]bool, len(spec.Blocks))
@@ -397,7 +409,7 @@ func (c *Cache) flush() {
 	c.flushes++
 	c.evicted = append(c.evicted, c.regions...)
 	for _, r := range c.regions {
-		delete(c.entries, r.Entry)
+		c.entries[r.Entry] = noEntry
 	}
 	c.regions = c.regions[:0]
 	c.liveBytes = 0

@@ -45,6 +45,12 @@ type Config struct {
 	// enters, exits, transitions, selections) for debugging and timeline
 	// tooling. It must not mutate simulator state.
 	Tracer Tracer
+	// Machine, when set, supplies a reusable interpreter: Run re-targets
+	// it to the program (reusing its data memory and predecode buffers)
+	// instead of allocating a fresh Machine per run. Callers running many
+	// simulations back to back (the experiment harness) avoid re-allocating
+	// the memory image for every run.
+	Machine *vm.Machine
 }
 
 // Tracer observes the simulated system's state machine.
@@ -132,6 +138,19 @@ func (s *Simulator) TakenBranch(src, tgt isa.Addr, kind vm.BranchKind) {
 	s.pos = tgt
 }
 
+// BlockBatch implements vm.BlockSink: each event is the completed execution
+// of exactly one basic block — the block led by the current position, whose
+// final instruction is the event's Src. Fall-through boundaries arrive
+// pre-resolved, so no block-table walking (advanceTo) is needed, and the
+// block length is a single subtraction.
+func (s *Simulator) BlockBatch(events []vm.BlockEvent) {
+	for i := range events {
+		ev := &events[i]
+		s.transfer(ev.Src, ev.Tgt, ev.Taken, ev.Kind)
+		s.pos = ev.Tgt
+	}
+}
+
 // advanceTo processes fall-through block boundaries until the current
 // block ends exactly at src.
 func (s *Simulator) advanceTo(src isa.Addr) {
@@ -148,9 +167,12 @@ func (s *Simulator) advanceTo(src isa.Addr) {
 	}
 }
 
-// transfer handles one control transfer out of the current block.
+// transfer handles one control transfer out of the current block. src is
+// always the final instruction of the block led by s.pos (advanceTo and the
+// VM's block events both guarantee it), so the block length is a
+// subtraction, not a block-table lookup.
 func (s *Simulator) transfer(src, tgt isa.Addr, taken bool, kind vm.BranchKind) {
-	blockLen := s.prog.BlockLen(s.pos)
+	blockLen := int(src-s.pos) + 1
 	inCache := s.region != nil
 	s.col.Block(blockLen, inCache)
 	s.col.Edge(s.pos, tgt)
@@ -293,7 +315,12 @@ func Run(p *program.Program, cfg Config) (Result, error) {
 			return Result{}, fmt.Errorf("dynopt: preloading cache: %w", err)
 		}
 	}
-	machine := vm.New(p, cfg.VM)
+	machine := cfg.Machine
+	if machine != nil {
+		machine.Load(p, cfg.VM)
+	} else {
+		machine = vm.New(p, cfg.VM)
+	}
 	stats, err := machine.Run(sim)
 	if err != nil {
 		return Result{}, fmt.Errorf("dynopt: interpreting program: %w", err)

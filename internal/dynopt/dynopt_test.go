@@ -96,6 +96,36 @@ func TestAttributionMatchesVM(t *testing.T) {
 	}
 }
 
+func TestSteadyStateAllocFree(t *testing.T) {
+	// Once a hot loop has been selected into the code cache, delivering its
+	// block events must not allocate: the in-cache path of transfer touches
+	// only pre-grown counters and the region's own tables. This pins the
+	// zero-allocation steady state the batched block stream was built for.
+	prog := loopProgram(t, 1)
+	sim := NewSimulator(prog, Config{Selector: core.NewNET(core.DefaultParams())})
+	sim.pos = prog.Entry()
+	// Warm up: fall through the entry block, then spin the loop's backward
+	// branch until NET selects the region and the simulator enters the cache.
+	sim.BlockBatch([]vm.BlockEvent{{Src: 0, Tgt: 1, Taken: false}})
+	hot := []vm.BlockEvent{{Src: 3, Tgt: 1, Kind: vm.KindCond, Taken: true}}
+	for i := 0; i < 200; i++ {
+		sim.BlockBatch(hot)
+	}
+	if sim.region == nil {
+		t.Fatal("warm-up did not enter the code cache")
+	}
+	batch := make([]vm.BlockEvent, 64)
+	for i := range batch {
+		batch[i] = vm.BlockEvent{Src: 3, Tgt: 1, Kind: vm.KindCond, Taken: true}
+	}
+	if allocs := testing.AllocsPerRun(100, func() { sim.BlockBatch(batch) }); allocs != 0 {
+		t.Fatalf("steady-state block delivery allocated %.1f times per batch, want 0", allocs)
+	}
+	if sim.region == nil {
+		t.Fatal("simulator left the cache during steady state")
+	}
+}
+
 func TestNoSelectionMeansNoCache(t *testing.T) {
 	res, err := Run(loopProgram(t, 100), Config{Selector: noop{}})
 	if err != nil {

@@ -8,8 +8,10 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -77,6 +79,12 @@ func (r *Results) Get(bench, sel string) metrics.Report { return r.Reports[bench
 
 // RunOne simulates a single (workload, selector) pair.
 func RunOne(bench, sel string, scale int, params core.Params) (metrics.Report, error) {
+	return runOne(bench, sel, scale, params, nil)
+}
+
+// runOne simulates one (workload, selector) pair, optionally on a reusable
+// machine so back-to-back runs share one interpreter memory image.
+func runOne(bench, sel string, scale int, params core.Params, m *vm.Machine) (metrics.Report, error) {
 	w, ok := workloads.Get(bench)
 	if !ok {
 		return metrics.Report{}, fmt.Errorf("experiments: unknown workload %q", bench)
@@ -85,7 +93,7 @@ func RunOne(bench, sel string, scale int, params core.Params) (metrics.Report, e
 	if err != nil {
 		return metrics.Report{}, err
 	}
-	res, err := dynopt.Run(w.Build(scale), dynopt.Config{Selector: s, VM: vm.Config{}})
+	res, err := dynopt.Run(w.Build(scale), dynopt.Config{Selector: s, VM: vm.Config{}, Machine: m})
 	if err != nil {
 		return metrics.Report{}, fmt.Errorf("experiments: %s under %s: %w", bench, sel, err)
 	}
@@ -105,7 +113,7 @@ func RunAll(scale int, params core.Params) (*Results, error) {
 	type job struct{ bench, sel string }
 	jobs := make(chan job)
 	var mu sync.Mutex
-	var firstErr error
+	var errs []error
 	var wg sync.WaitGroup
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(benches)*len(sels) {
@@ -115,11 +123,14 @@ func RunAll(scale int, params core.Params) (*Results, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One reusable interpreter per worker: every run on this worker
+			// shares the same data-memory image and predecode buffers.
+			machine := &vm.Machine{}
 			for j := range jobs {
-				rep, err := RunOne(j.bench, j.sel, scale, params)
+				rep, err := runOne(j.bench, j.sel, scale, params, machine)
 				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = err
+				if err != nil {
+					errs = append(errs, err)
 				}
 				res.Reports[j.bench][j.sel] = rep
 				mu.Unlock()
@@ -133,8 +144,11 @@ func RunAll(scale int, params core.Params) (*Results, error) {
 	}
 	close(jobs)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if len(errs) > 0 {
+		// Report every broken (benchmark, selector) pair, not just the
+		// first; order deterministically since workers race.
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+		return nil, errors.Join(errs...)
 	}
 	return res, nil
 }

@@ -37,18 +37,25 @@ type Collector struct {
 	// InterpBranches counts interpreted taken branches.
 	InterpBranches uint64
 
-	// edges maps (fromBlock, toBlock) leader pairs to execution counts,
+	// edges records (fromBlock, toBlock) leader-pair execution counts,
 	// covering all execution (interpreted and cached) — the paper's
 	// exit-domination definition considers every predecessor edge that
-	// executes (§4.1, footnote 5).
-	edges map[edgeKey]uint64
+	// executes (§4.1, footnote 5). The table is dense: a slice indexed by
+	// the source leader address (grown lazily) whose cells hold the small
+	// set of observed successors with flat counters, so the per-block hot
+	// path is an indexed load plus a short linear scan, never a hash.
+	edges [][]edgeCell
 }
 
-type edgeKey struct{ from, to isa.Addr }
+// edgeCell is one observed successor of a source block with its count.
+type edgeCell struct {
+	to isa.Addr
+	n  uint64
+}
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{edges: make(map[edgeKey]uint64)}
+	return &Collector{}
 }
 
 // Block records the completed execution of a block of n instructions.
@@ -62,7 +69,23 @@ func (c *Collector) Block(n int, inCache bool) {
 // Edge records one execution of the control-flow edge between two block
 // leaders.
 func (c *Collector) Edge(from, to isa.Addr) {
-	c.edges[edgeKey{from, to}]++
+	if int(from) >= len(c.edges) {
+		n := int(from) + 1
+		if n < 2*len(c.edges) {
+			n = 2 * len(c.edges)
+		}
+		grown := make([][]edgeCell, n)
+		copy(grown, c.edges)
+		c.edges = grown
+	}
+	cells := c.edges[from]
+	for i := range cells {
+		if cells[i].to == to {
+			cells[i].n++
+			return
+		}
+	}
+	c.edges[from] = append(cells, edgeCell{to: to, n: 1})
 }
 
 // Transition records one region transition between cache-layout addresses.
@@ -80,15 +103,25 @@ func (c *Collector) Transition(fromAddr, toAddr int) {
 
 // EdgeCount returns the number of times the edge executed.
 func (c *Collector) EdgeCount(from, to isa.Addr) uint64 {
-	return c.edges[edgeKey{from, to}]
+	if int(from) >= len(c.edges) {
+		return 0
+	}
+	for _, cell := range c.edges[from] {
+		if cell.to == to {
+			return cell.n
+		}
+	}
+	return 0
 }
 
 // PredsOf returns the distinct executed predecessor leaders for each block
 // leader.
 func (c *Collector) PredsOf() map[isa.Addr][]isa.Addr {
 	preds := make(map[isa.Addr][]isa.Addr)
-	for k := range c.edges {
-		preds[k.to] = append(preds[k.to], k.from)
+	for from, cells := range c.edges {
+		for _, cell := range cells {
+			preds[cell.to] = append(preds[cell.to], isa.Addr(from))
+		}
 	}
 	for _, ps := range preds {
 		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })

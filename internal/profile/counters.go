@@ -11,41 +11,79 @@ import "repro/internal/isa"
 // needed only for a small subset of branch targets and are recycled once a
 // region is selected; the pool tracks the maximum number of counters live
 // at any point so the paper's Figure 10 can be reproduced.
+//
+// Counters are stored in a dense address-indexed slice (grown lazily to the
+// highest address profiled) so the per-branch Incr on the simulator's hot
+// path is a bounds check and two array accesses, never a hash. The
+// map-equivalent notion of "allocated" is kept explicitly: live counts the
+// addresses currently holding a counter, exactly as len(map) did.
 type CounterPool struct {
-	counters  map[isa.Addr]int
+	counters  []int
+	present   []bool
+	live      int
 	highWater int
 	allocs    uint64
 }
 
 // NewCounterPool returns an empty pool.
 func NewCounterPool() *CounterPool {
-	return &CounterPool{counters: make(map[isa.Addr]int)}
+	return &CounterPool{}
+}
+
+// grow ensures the dense tables cover addr.
+func (p *CounterPool) grow(addr isa.Addr) {
+	if int(addr) < len(p.counters) {
+		return
+	}
+	n := int(addr) + 1
+	if n < 2*len(p.counters) {
+		n = 2 * len(p.counters)
+	}
+	counters := make([]int, n)
+	copy(counters, p.counters)
+	p.counters = counters
+	present := make([]bool, n)
+	copy(present, p.present)
+	p.present = present
 }
 
 // Incr increments the counter for addr, allocating it at zero first if
 // needed, and returns the new value.
 func (p *CounterPool) Incr(addr isa.Addr) int {
-	c, ok := p.counters[addr]
-	if !ok {
+	p.grow(addr)
+	if !p.present[addr] {
+		p.present[addr] = true
 		p.allocs++
+		p.live++
+		if p.live > p.highWater {
+			p.highWater = p.live
+		}
 	}
-	c++
-	p.counters[addr] = c
-	if n := len(p.counters); n > p.highWater {
-		p.highWater = n
-	}
-	return c
+	p.counters[addr]++
+	return p.counters[addr]
 }
 
 // Get returns the current value of the counter for addr (zero when absent).
-func (p *CounterPool) Get(addr isa.Addr) int { return p.counters[addr] }
+func (p *CounterPool) Get(addr isa.Addr) int {
+	if int(addr) >= len(p.counters) {
+		return 0
+	}
+	return p.counters[addr]
+}
 
 // Release recycles the counter for addr, making its memory available for
 // another branch target. Releasing an absent counter is a no-op.
-func (p *CounterPool) Release(addr isa.Addr) { delete(p.counters, addr) }
+func (p *CounterPool) Release(addr isa.Addr) {
+	if int(addr) >= len(p.counters) || !p.present[addr] {
+		return
+	}
+	p.present[addr] = false
+	p.counters[addr] = 0
+	p.live--
+}
 
 // Live returns the number of counters currently allocated.
-func (p *CounterPool) Live() int { return len(p.counters) }
+func (p *CounterPool) Live() int { return p.live }
 
 // HighWater returns the maximum number of counters that were live at any
 // point — the paper's measure of profiling counter memory (Figure 10).
@@ -55,9 +93,12 @@ func (p *CounterPool) HighWater() int { return p.highWater }
 // over the run (an address re-allocated after recycling counts again).
 func (p *CounterPool) Allocations() uint64 { return p.allocs }
 
-// Reset empties the pool and clears statistics.
+// Reset empties the pool and clears statistics, keeping the backing tables
+// for reuse.
 func (p *CounterPool) Reset() {
-	p.counters = make(map[isa.Addr]int)
+	clear(p.counters)
+	clear(p.present)
+	p.live = 0
 	p.highWater = 0
 	p.allocs = 0
 }

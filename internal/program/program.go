@@ -28,10 +28,12 @@ type Program struct {
 	funcs  []Function
 	labels map[string]isa.Addr
 
-	// Basic-block decomposition, computed once at construction.
-	blockStarts []isa.Addr       // sorted leaders
-	blockIndex  map[isa.Addr]int // leader -> index in blockStarts
-	leaderOf    []int32          // addr -> index of containing block
+	// Basic-block decomposition, computed once at construction. All block
+	// queries are answered from dense address- or block-indexed slices so
+	// the simulator's per-block hot path never hashes.
+	blockStarts []isa.Addr // sorted leaders
+	blockEnds   []isa.Addr // exclusive end of each block, indexed by block id
+	leaderOf    []int32    // addr -> index of containing block
 	entry       isa.Addr
 }
 
@@ -103,14 +105,20 @@ func (p *Program) computeBlocks() {
 			leader[a] = true
 		}
 	}
-	p.blockIndex = make(map[isa.Addr]int)
 	p.leaderOf = make([]int32, len(p.instrs))
 	for a, isL := range leader {
 		if isL {
-			p.blockIndex[isa.Addr(a)] = len(p.blockStarts)
 			p.blockStarts = append(p.blockStarts, isa.Addr(a))
 		}
 		p.leaderOf[a] = int32(len(p.blockStarts) - 1)
+	}
+	p.blockEnds = make([]isa.Addr, len(p.blockStarts))
+	for id := range p.blockEnds {
+		if id+1 < len(p.blockStarts) {
+			p.blockEnds[id] = p.blockStarts[id+1]
+		} else {
+			p.blockEnds[id] = isa.Addr(len(p.instrs))
+		}
 	}
 }
 
@@ -164,18 +172,20 @@ func (p *Program) BlockStarts() []isa.Addr { return p.blockStarts }
 
 // IsBlockStart reports whether addr is a basic-block leader.
 func (p *Program) IsBlockStart(addr isa.Addr) bool {
-	_, ok := p.blockIndex[addr]
-	return ok
+	return int(addr) < len(p.leaderOf) && p.blockStarts[p.leaderOf[addr]] == addr
 }
 
 // BlockID returns the dense index of the block led by addr, or -1 when addr
 // is not a leader.
 func (p *Program) BlockID(addr isa.Addr) int {
-	id, ok := p.blockIndex[addr]
-	if !ok {
+	if int(addr) >= len(p.leaderOf) {
 		return -1
 	}
-	return id
+	id := p.leaderOf[addr]
+	if p.blockStarts[id] != addr {
+		return -1
+	}
+	return int(id)
 }
 
 // BlockContaining returns the leader of the block containing addr.
@@ -186,14 +196,11 @@ func (p *Program) BlockContaining(addr isa.Addr) isa.Addr {
 // BlockEnd returns the exclusive end address of the block led by start:
 // execution entering at start runs linearly through BlockEnd-1.
 func (p *Program) BlockEnd(start isa.Addr) isa.Addr {
-	id, ok := p.blockIndex[start]
-	if !ok {
+	id := p.BlockID(start)
+	if id < 0 {
 		panic(fmt.Sprintf("program: %d is not a block leader", start))
 	}
-	if id+1 < len(p.blockStarts) {
-		return p.blockStarts[id+1]
-	}
-	return isa.Addr(len(p.instrs))
+	return p.blockEnds[id]
 }
 
 // BlockLen returns the instruction count of the block led by start.

@@ -67,6 +67,30 @@ type SinkFunc func(src, tgt isa.Addr, kind BranchKind)
 // TakenBranch calls f.
 func (f SinkFunc) TakenBranch(src, tgt isa.Addr, kind BranchKind) { f(src, tgt, kind) }
 
+// BlockEvent describes the completed execution of one basic block: the
+// block whose final instruction is Src transferred control to the leader
+// Tgt. Taken distinguishes taken branches from fall-through boundaries;
+// Kind is meaningful only when Taken is set.
+type BlockEvent struct {
+	Src   isa.Addr
+	Tgt   isa.Addr
+	Kind  BranchKind
+	Taken bool
+}
+
+// BlockSink is an optional Sink extension. When the sink passed to Run
+// implements BlockSink, the machine delivers the dynamic stream as batches
+// of per-block boundary events — every block boundary, fall-throughs
+// included — instead of one TakenBranch call per taken branch. Consumers
+// that track basic blocks (the dynopt simulator) avoid re-deriving
+// fall-through boundaries from the program, and the interface-call cost is
+// amortized over the batch. Events arrive in execution order; the slice is
+// reused between batches and must not be retained.
+type BlockSink interface {
+	Sink
+	BlockBatch(events []BlockEvent)
+}
+
 // Config bounds an interpretation run. Zero values select defaults.
 type Config struct {
 	// MemWords is the size of data memory in 64-bit words (default 1<<20).
@@ -109,29 +133,130 @@ var (
 	ErrNotLeader = errors.New("vm: indirect branch target is not a block leader")
 )
 
-// Machine is a reusable interpreter instance. The zero value is not usable;
-// construct with New.
-type Machine struct {
-	prog *program.Program
-	cfg  Config
-	regs [isa.NumRegs]int64
-	mem  []int64
-	ras  []isa.Addr // return-address stack
+// pInstr is one predecoded instruction: operands widened into fixed slots,
+// the branch kind and block-boundary flag resolved once at load time, so
+// the dispatch loop fetches from a flat array and never re-derives static
+// facts per step.
+type pInstr struct {
+	op    isa.Opcode
+	cond  isa.Cond
+	dst   isa.Reg
+	srcA  isa.Reg
+	srcB  isa.Reg
+	kind  BranchKind // branch classification, for branch opcodes
+	flags uint8
+	// pad to keep imm aligned; struct is 24 bytes.
+	_      uint8
+	target isa.Addr
+	imm    int64
 }
+
+const (
+	// flagEndsBlock marks the final instruction of a basic block (its
+	// successor address is a block leader, or the program end).
+	flagEndsBlock uint8 = 1 << iota
+)
+
+// opPastEnd is the sentinel opcode placed one past the program's last
+// instruction, so the dispatch loop detects a fall-off-the-end fetch
+// without a per-step bounds check.
+const opPastEnd isa.Opcode = 0xFF
+
+// Machine is a reusable interpreter instance. The zero value must be
+// loaded with Load before use; New combines allocation and loading.
+type Machine struct {
+	prog  *program.Program
+	cfg   Config
+	regs  [isa.NumRegs]int64
+	mem   []int64
+	ras   []isa.Addr   // return-address stack
+	code  []pInstr     // predecoded program plus the opPastEnd sentinel
+	batch []BlockEvent // reusable block-event buffer for BlockSink delivery
+
+	// dirtyLo/dirtyHi bound the words of mem written since the last Reset
+	// (inclusive; lo > hi means none). Memory outside the range is
+	// guaranteed zero, so Reset clears only the dirty window instead of the
+	// whole (large, mostly untouched) image.
+	dirtyLo, dirtyHi int64
+}
+
+// batchCap is the number of block events buffered between BlockBatch
+// deliveries.
+const batchCap = 1024
 
 // New returns a Machine for the program.
 func New(p *program.Program, cfg Config) *Machine {
+	m := &Machine{}
+	m.Load(p, cfg)
+	return m
+}
+
+// Load re-targets the machine to program p under cfg, predecoding p and
+// resetting all execution state. The machine's data memory and internal
+// buffers are reused when their configured sizes allow, so a long-lived
+// Machine can run many programs without re-allocating its (large) memory
+// image.
+func (m *Machine) Load(p *program.Program, cfg Config) {
 	cfg.defaults()
-	return &Machine{prog: p, cfg: cfg, mem: make([]int64, cfg.MemWords)}
+	m.prog = p
+	m.cfg = cfg
+	if len(m.mem) != cfg.MemWords {
+		m.mem = make([]int64, cfg.MemWords)
+		m.dirtyLo, m.dirtyHi = int64(len(m.mem)), -1
+	}
+	m.predecode()
+	m.Reset()
+}
+
+// predecode lowers the program into the dispatch-ready instruction array.
+func (m *Machine) predecode() {
+	n := m.prog.Len()
+	if cap(m.code) < n+1 {
+		m.code = make([]pInstr, n+1)
+	}
+	m.code = m.code[:n+1]
+	for a := 0; a < n; a++ {
+		in := m.prog.At(isa.Addr(a))
+		pi := pInstr{
+			op:     in.Op,
+			cond:   in.Cond,
+			dst:    in.Dst,
+			srcA:   in.SrcA,
+			srcB:   in.SrcB,
+			imm:    in.Imm,
+			target: in.Target,
+		}
+		switch in.Op {
+		case isa.Jmp:
+			pi.kind = KindJump
+		case isa.Br:
+			pi.kind = KindCond
+		case isa.Call:
+			pi.kind = KindCall
+		case isa.CallInd:
+			pi.kind = KindIndCall
+		case isa.JmpInd:
+			pi.kind = KindIndJump
+		case isa.Ret:
+			pi.kind = KindReturn
+		}
+		if a+1 >= n || m.prog.IsBlockStart(isa.Addr(a+1)) {
+			pi.flags |= flagEndsBlock
+		}
+		m.code[a] = pi
+	}
+	m.code[n] = pInstr{op: opPastEnd}
 }
 
 // Reset clears registers, memory, and the call stack so the machine can be
-// run again.
+// run again. Only the written region of memory is cleared; untouched words
+// are zero by construction.
 func (m *Machine) Reset() {
 	m.regs = [isa.NumRegs]int64{}
-	for i := range m.mem {
-		m.mem[i] = 0
+	if m.dirtyLo <= m.dirtyHi {
+		clear(m.mem[m.dirtyLo : m.dirtyHi+1])
 	}
+	m.dirtyLo, m.dirtyHi = int64(len(m.mem)), -1
 	m.ras = m.ras[:0]
 }
 
@@ -154,146 +279,188 @@ func (m *Machine) wrap(i int64) int64 {
 }
 
 // Run interprets the program from its entry until Halt, streaming taken
-// branches to sink. sink may be nil.
+// branches to sink. sink may be nil. When sink implements BlockSink, the
+// stream is delivered as batched per-block boundary events instead (see
+// BlockSink); buffered events are flushed before every return.
+//
+// The dispatch loop fetches from the predecoded instruction array: direct
+// branch targets were validated at load time (program construction
+// guarantees they are block leaders), so only dynamic targets pay a
+// validity check, and the fall-off-the-end case is caught by the sentinel
+// instruction rather than a per-step bounds test.
 func (m *Machine) Run(sink Sink) (Stats, error) {
 	var st Stats
 	pc := m.prog.Entry()
-	p := m.prog
+	code := m.code
+	progLen := len(code) - 1
+	maxInstrs := m.cfg.MaxInstrs
+	maxDepth := m.cfg.MaxCallDepth
+	bs, _ := sink.(BlockSink)
+	if bs != nil && cap(m.batch) == 0 {
+		m.batch = make([]BlockEvent, 0, batchCap)
+	}
+	batch := m.batch[:0]
 	for {
-		if st.Instrs >= m.cfg.MaxInstrs {
+		if st.Instrs >= maxInstrs {
+			m.finishBatch(bs, batch)
 			return st, fmt.Errorf("%w after %d instructions at %d", ErrMaxInstrs, st.Instrs, pc)
 		}
-		if !p.InRange(pc) {
-			// A final conditional branch can fall through past the program
-			// end, and a final call's return address lies past it; both
-			// are program bugs the machine reports rather than crashes on.
-			return st, fmt.Errorf("%w: fetch at %d", ErrBadTarget, pc)
-		}
-		in := p.At(pc)
+		in := &code[pc]
 		st.Instrs++
 		next := pc + 1
-		switch in.Op {
+		var tgt isa.Addr
+		taken := false
+		switch in.op {
 		case isa.Nop:
 		case isa.Halt:
 			st.FinalPC = pc
+			m.finishBatch(bs, batch)
 			return st, nil
 		case isa.MovImm:
-			m.regs[in.Dst] = in.Imm
+			m.regs[in.dst] = in.imm
 		case isa.Mov:
-			m.regs[in.Dst] = m.regs[in.SrcA]
+			m.regs[in.dst] = m.regs[in.srcA]
 		case isa.Add:
-			m.regs[in.Dst] = m.regs[in.SrcA] + m.regs[in.SrcB]
+			m.regs[in.dst] = m.regs[in.srcA] + m.regs[in.srcB]
 		case isa.AddImm:
-			m.regs[in.Dst] = m.regs[in.SrcA] + in.Imm
+			m.regs[in.dst] = m.regs[in.srcA] + in.imm
 		case isa.Sub:
-			m.regs[in.Dst] = m.regs[in.SrcA] - m.regs[in.SrcB]
+			m.regs[in.dst] = m.regs[in.srcA] - m.regs[in.srcB]
 		case isa.Mul:
-			m.regs[in.Dst] = m.regs[in.SrcA] * m.regs[in.SrcB]
+			m.regs[in.dst] = m.regs[in.srcA] * m.regs[in.srcB]
 		case isa.Div:
-			if d := m.regs[in.SrcB]; d != 0 {
-				m.regs[in.Dst] = m.regs[in.SrcA] / d
+			if d := m.regs[in.srcB]; d != 0 {
+				m.regs[in.dst] = m.regs[in.srcA] / d
 			} else {
-				m.regs[in.Dst] = 0
+				m.regs[in.dst] = 0
 			}
 		case isa.Rem:
-			if d := m.regs[in.SrcB]; d != 0 {
-				m.regs[in.Dst] = m.regs[in.SrcA] % d
+			if d := m.regs[in.srcB]; d != 0 {
+				m.regs[in.dst] = m.regs[in.srcA] % d
 			} else {
-				m.regs[in.Dst] = 0
+				m.regs[in.dst] = 0
 			}
 		case isa.And:
-			m.regs[in.Dst] = m.regs[in.SrcA] & m.regs[in.SrcB]
+			m.regs[in.dst] = m.regs[in.srcA] & m.regs[in.srcB]
 		case isa.Or:
-			m.regs[in.Dst] = m.regs[in.SrcA] | m.regs[in.SrcB]
+			m.regs[in.dst] = m.regs[in.srcA] | m.regs[in.srcB]
 		case isa.Xor:
-			m.regs[in.Dst] = m.regs[in.SrcA] ^ m.regs[in.SrcB]
+			m.regs[in.dst] = m.regs[in.srcA] ^ m.regs[in.srcB]
 		case isa.Shl:
-			m.regs[in.Dst] = m.regs[in.SrcA] << (uint64(m.regs[in.SrcB]) & 63)
+			m.regs[in.dst] = m.regs[in.srcA] << (uint64(m.regs[in.srcB]) & 63)
 		case isa.Shr:
-			m.regs[in.Dst] = int64(uint64(m.regs[in.SrcA]) >> (uint64(m.regs[in.SrcB]) & 63))
+			m.regs[in.dst] = int64(uint64(m.regs[in.srcA]) >> (uint64(m.regs[in.srcB]) & 63))
 		case isa.Load:
-			m.regs[in.Dst] = m.mem[m.wrap(m.regs[in.SrcA]+in.Imm)]
+			m.regs[in.dst] = m.mem[m.wrap(m.regs[in.srcA]+in.imm)]
 		case isa.Store:
-			m.mem[m.wrap(m.regs[in.SrcA]+in.Imm)] = m.regs[in.SrcB]
-		case isa.Jmp:
-			if err := m.branch(sink, &st, pc, in.Target, KindJump); err != nil {
-				return st, err
+			i := m.wrap(m.regs[in.srcA] + in.imm)
+			m.mem[i] = m.regs[in.srcB]
+			if i < m.dirtyLo {
+				m.dirtyLo = i
 			}
-			next = in.Target
+			if i > m.dirtyHi {
+				m.dirtyHi = i
+			}
+		case isa.Jmp:
+			tgt, taken = in.target, true
 		case isa.Br:
-			if in.Cond.Eval(m.regs[in.SrcA], m.regs[in.SrcB]) {
-				if err := m.branch(sink, &st, pc, in.Target, KindCond); err != nil {
-					return st, err
-				}
-				next = in.Target
+			if in.cond.Eval(m.regs[in.srcA], m.regs[in.srcB]) {
+				tgt, taken = in.target, true
 			}
 		case isa.Call:
-			if len(m.ras) >= m.cfg.MaxCallDepth {
+			if len(m.ras) >= maxDepth {
+				m.finishBatch(bs, batch)
 				return st, fmt.Errorf("%w at %d", ErrCallDepth, pc)
 			}
 			m.ras = append(m.ras, pc+1)
-			if err := m.branch(sink, &st, pc, in.Target, KindCall); err != nil {
-				return st, err
-			}
-			next = in.Target
+			tgt, taken = in.target, true
 		case isa.CallInd:
-			tgt, err := m.dynTarget(pc, m.regs[in.SrcA])
-			if err != nil {
-				return st, err
+			v := m.regs[in.srcA]
+			if v < 0 || int(isa.Addr(v)) >= progLen {
+				m.finishBatch(bs, batch)
+				return st, fmt.Errorf("%w: at %d, computed %d", ErrBadTarget, pc, v)
 			}
-			if len(m.ras) >= m.cfg.MaxCallDepth {
+			if len(m.ras) >= maxDepth {
+				m.finishBatch(bs, batch)
 				return st, fmt.Errorf("%w at %d", ErrCallDepth, pc)
 			}
 			m.ras = append(m.ras, pc+1)
-			if err := m.branch(sink, &st, pc, tgt, KindIndCall); err != nil {
-				return st, err
+			tgt = isa.Addr(v)
+			if !m.prog.IsBlockStart(tgt) {
+				m.finishBatch(bs, batch)
+				return st, fmt.Errorf("%w: %d -> %d", ErrNotLeader, pc, tgt)
 			}
-			next = tgt
+			taken = true
 		case isa.JmpInd:
-			tgt, err := m.dynTarget(pc, m.regs[in.SrcA])
-			if err != nil {
-				return st, err
+			v := m.regs[in.srcA]
+			if v < 0 || int(isa.Addr(v)) >= progLen {
+				m.finishBatch(bs, batch)
+				return st, fmt.Errorf("%w: at %d, computed %d", ErrBadTarget, pc, v)
 			}
-			if err := m.branch(sink, &st, pc, tgt, KindIndJump); err != nil {
-				return st, err
+			tgt = isa.Addr(v)
+			if !m.prog.IsBlockStart(tgt) {
+				m.finishBatch(bs, batch)
+				return st, fmt.Errorf("%w: %d -> %d", ErrNotLeader, pc, tgt)
 			}
-			next = tgt
+			taken = true
 		case isa.Ret:
 			if len(m.ras) == 0 {
+				m.finishBatch(bs, batch)
 				return st, fmt.Errorf("%w at %d", ErrUnderflow, pc)
 			}
-			tgt := m.ras[len(m.ras)-1]
+			tgt = m.ras[len(m.ras)-1]
 			m.ras = m.ras[:len(m.ras)-1]
-			if err := m.branch(sink, &st, pc, tgt, KindReturn); err != nil {
-				return st, err
+			if int(tgt) >= progLen {
+				m.finishBatch(bs, batch)
+				return st, fmt.Errorf("%w: %d -> %d", ErrBadTarget, pc, tgt)
 			}
-			next = tgt
+			if !m.prog.IsBlockStart(tgt) {
+				m.finishBatch(bs, batch)
+				return st, fmt.Errorf("%w: %d -> %d", ErrNotLeader, pc, tgt)
+			}
+			taken = true
+		case opPastEnd:
+			// A final conditional branch can fall through past the program
+			// end, and a final call's return address lies past it; both
+			// are program bugs the machine reports rather than crashes on.
+			st.Instrs--
+			m.finishBatch(bs, batch)
+			return st, fmt.Errorf("%w: fetch at %d", ErrBadTarget, pc)
 		default:
-			return st, fmt.Errorf("vm: unknown opcode %d at %d", in.Op, pc)
+			m.finishBatch(bs, batch)
+			return st, fmt.Errorf("vm: unknown opcode %d at %d", in.op, pc)
+		}
+		if taken {
+			st.Branches++
+			if bs != nil {
+				batch = append(batch, BlockEvent{Src: pc, Tgt: tgt, Kind: in.kind, Taken: true})
+				if len(batch) == cap(batch) {
+					bs.BlockBatch(batch)
+					batch = batch[:0]
+				}
+			} else if sink != nil {
+				sink.TakenBranch(pc, tgt, in.kind)
+			}
+			pc = tgt
+			continue
+		}
+		if in.flags&flagEndsBlock != 0 && bs != nil && int(next) < progLen {
+			batch = append(batch, BlockEvent{Src: pc, Tgt: next})
+			if len(batch) == cap(batch) {
+				bs.BlockBatch(batch)
+				batch = batch[:0]
+			}
 		}
 		pc = next
 	}
 }
 
-func (m *Machine) branch(sink Sink, st *Stats, src, tgt isa.Addr, kind BranchKind) error {
-	if !m.prog.InRange(tgt) {
-		return fmt.Errorf("%w: %d -> %d", ErrBadTarget, src, tgt)
+// finishBatch flushes buffered block events and parks the buffer for reuse.
+func (m *Machine) finishBatch(bs BlockSink, batch []BlockEvent) {
+	if bs != nil && len(batch) > 0 {
+		bs.BlockBatch(batch)
 	}
-	if !m.prog.IsBlockStart(tgt) {
-		return fmt.Errorf("%w: %d -> %d", ErrNotLeader, src, tgt)
-	}
-	st.Branches++
-	if sink != nil {
-		sink.TakenBranch(src, tgt, kind)
-	}
-	return nil
-}
-
-func (m *Machine) dynTarget(pc isa.Addr, v int64) (isa.Addr, error) {
-	if v < 0 || !m.prog.InRange(isa.Addr(v)) {
-		return 0, fmt.Errorf("%w: at %d, computed %d", ErrBadTarget, pc, v)
-	}
-	return isa.Addr(v), nil
+	m.batch = batch[:0]
 }
 
 // Run is a convenience wrapper: interpret p once with cfg, streaming to sink.

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Runs the headline pipeline benchmark and records the result as
+# BENCH_pipeline.json at the repository root.
+#
+#   scripts/bench.sh [count]
+#
+# count is the -count passed to `go test` (default 5). The JSON holds one
+# object per run with the benchmark's normalized metrics (ns per simulated
+# instruction, heap bytes per simulated instruction) plus the standard
+# ns/op, B/op, and allocs/op columns, so regressions are diffable in review.
+set -eu
+
+cd "$(dirname "$0")/.."
+count="${1:-5}"
+out="BENCH_pipeline.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -bench '^BenchmarkPipeline$' -benchmem -count="$count" -run '^$' . | tee "$raw"
+
+awk '
+/^BenchmarkPipeline/ {
+    ns_instr = b_instr = ns_op = b_op = allocs_op = "null"
+    iters = $2
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/instr") ns_instr = $i
+        if ($(i + 1) == "B/instr") b_instr = $i
+        if ($(i + 1) == "ns/op") ns_op = $i
+        if ($(i + 1) == "B/op") b_op = $i
+        if ($(i + 1) == "allocs/op") allocs_op = $i
+    }
+    runs[++n] = sprintf("{\"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"ns_per_instr\": %s, \"bytes_per_instr\": %s}",
+        iters, ns_op, b_op, allocs_op, ns_instr, b_instr)
+}
+END {
+    if (n == 0) { print "bench.sh: no BenchmarkPipeline lines found" > "/dev/stderr"; exit 1 }
+    printf "{\n  \"benchmark\": \"BenchmarkPipeline\",\n  \"runs\": [\n"
+    for (i = 1; i <= n; i++) printf "    %s%s\n", runs[i], (i < n ? "," : "")
+    printf "  ]\n}\n"
+}
+' "$raw" > "$out"
+
+echo "wrote $out"
