@@ -18,6 +18,7 @@ import (
 	"repro/internal/dynopt"
 	"repro/internal/experiments"
 	"repro/internal/isa"
+	"repro/internal/metrics"
 	"repro/internal/profile"
 	"repro/internal/stats"
 	"repro/internal/vm"
@@ -320,6 +321,52 @@ func BenchmarkLEITraceFormation(b *testing.B) {
 		if formed == 0 {
 			b.Fatal("no traces formed")
 		}
+	}
+}
+
+// BenchmarkLEI measures the end-to-end LEI selection path on a pooled
+// scratch — the configuration the experiment harness runs — reporting
+// normalized throughput and allocation pressure. With dense pre-sized
+// tables the steady-state B/instr should be driven by per-run cache and
+// report construction only.
+func BenchmarkLEI(b *testing.B) {
+	prog := workloads.MustGet("gcc").Build(100)
+	scratch := &dynopt.Scratch{}
+	var ms0, ms1 runtime.MemStats
+	var instrs uint64
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dynopt.Run(prog, dynopt.Config{
+			Selector: core.NewLEI(core.DefaultParams()),
+			Scratch:  scratch,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.VMStats.Instrs
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(instrs), "ns/instr")
+	b.ReportMetric(float64(ms1.TotalAlloc-ms0.TotalAlloc)/float64(instrs), "B/instr")
+}
+
+// BenchmarkAnalyze measures the pooled metrics.Analyzer over a finished
+// LEI run; after the first iteration warms the scratch tables, each call
+// must be allocation-free (pinned by TestPooledAnalyzeAllocFree).
+func BenchmarkAnalyze(b *testing.B) {
+	prog := workloads.MustGet("gcc").Build(100)
+	sel := core.NewLEI(core.DefaultParams())
+	res, err := dynopt.Run(prog, dynopt.Config{Selector: sel})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := sel.Stats()
+	var a metrics.Analyzer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Analyze(res.Cache, res.Collector, st)
 	}
 }
 

@@ -367,6 +367,19 @@ func (c *Cache) buildSuccs(spec Spec) [][]int {
 	return out
 }
 
+// InternalEdge reports whether the direction from block i to the block
+// starting at tgt is covered by an in-region successor (so it needs no exit
+// stub or link). Succs lists are tiny — one or two entries — so a linear
+// scan beats building a set.
+func (r *Region) InternalEdge(i int, tgt isa.Addr) bool {
+	for _, s := range r.Succs[i] {
+		if r.Blocks[s].Start == tgt {
+			return true
+		}
+	}
+	return false
+}
+
 // countStubs counts the exit stubs a region requires: one for every
 // control-flow direction that leaves the region. Directions covered by
 // in-region successors need no stub. Indirect branches (including returns)
@@ -375,14 +388,10 @@ func (c *Cache) buildSuccs(spec Spec) [][]int {
 func (c *Cache) countStubs(r *Region) int {
 	stubs := 0
 	for i, b := range r.Blocks {
-		internal := make(map[isa.Addr]bool, len(r.Succs[i]))
-		for _, s := range r.Succs[i] {
-			internal[r.Blocks[s].Start] = true
-		}
 		end := b.Start + isa.Addr(b.Len)
 		last := c.prog.At(end - 1)
 		countDir := func(tgt isa.Addr) {
-			if !internal[tgt] {
+			if !r.InternalEdge(i, tgt) {
 				stubs++
 			}
 		}
@@ -466,14 +475,10 @@ func (c *Cache) CountLinks() int {
 	links := 0
 	for _, r := range c.regions {
 		for i, b := range r.Blocks {
-			internal := make(map[isa.Addr]bool, len(r.Succs[i]))
-			for _, s := range r.Succs[i] {
-				internal[r.Blocks[s].Start] = true
-			}
 			end := b.Start + isa.Addr(b.Len)
 			last := c.prog.At(end - 1)
 			countDir := func(tgt isa.Addr) {
-				if !internal[tgt] && c.HasEntry(tgt) && tgt != r.Entry {
+				if !r.InternalEdge(i, tgt) && c.HasEntry(tgt) && tgt != r.Entry {
 					links++
 				}
 			}

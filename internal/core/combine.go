@@ -89,6 +89,16 @@ func (c *Combiner) Name() string {
 // TStart returns the profiling-start threshold in use.
 func (c *Combiner) TStart() int { return c.tStart }
 
+// Preallocate implements Preallocator for the dense tables shared with the
+// base algorithms. The observed-trace and recording maps are keyed by the
+// handful of heads being profiled at once and stay as maps.
+func (c *Combiner) Preallocate(addrSpace int) {
+	c.counters.EnsureCap(addrSpace)
+	if c.buf != nil {
+		c.buf.EnsureAddrCap(addrSpace)
+	}
+}
+
 // Transfer implements Selector.
 func (c *Combiner) Transfer(env Env, ev Event) {
 	if c.base == BaseNET {

@@ -95,6 +95,15 @@ type Selector interface {
 	Stats() ProfileStats
 }
 
+// Preallocator is implemented by selectors whose dense, address-indexed
+// profiling tables can be sized up front. The simulator calls it once at run
+// start with the program's address-space size (program length plus one, so
+// the one-past-the-end sentinel address the VM's predecoder uses is always
+// in range), eliminating steady-state table growth from the hot path.
+type Preallocator interface {
+	Preallocate(addrSpace int)
+}
+
 // Params holds every tunable of the selection algorithms, defaulting to the
 // paper's published values.
 type Params struct {

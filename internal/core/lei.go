@@ -44,6 +44,14 @@ func NewLEI(params Params) *LEI {
 // Name implements Selector.
 func (l *LEI) Name() string { return "lei" }
 
+// Preallocate implements Preallocator: the counter pool and the history
+// buffer's target table are sized to the program's address space up front,
+// so the per-taken-branch LEI path never grows a table.
+func (l *LEI) Preallocate(addrSpace int) {
+	l.counters.EnsureCap(addrSpace)
+	l.buf.EnsureAddrCap(addrSpace)
+}
+
 // Transfer implements Selector. This is INTERPRETED-BRANCH-TAKEN of
 // Figure 5; the cached-target fast path (lines 1–4) records an enter entry
 // for path reconstruction and skips profiling, and the jump into a newly

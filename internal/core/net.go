@@ -18,25 +18,29 @@ import (
 type NET struct {
 	params   Params
 	counters *profile.CounterPool
-	// recording maps a head address to its active tail recorder. Multiple
+	// recording holds the active tail recorder for each head address, as a
+	// dense address-indexed slice (nil = not recording) so the per-transfer
+	// "is this head already recording?" test in bump never hashes. Multiple
 	// heads can record concurrently when a second target reaches its
-	// threshold while an earlier recording is still extending.
-	recording map[isa.Addr]*tailRecorder
-	order     []isa.Addr // deterministic iteration order for recording
+	// threshold while an earlier recording is still extending; nRecording
+	// counts them and order preserves deterministic iteration.
+	recording  []*tailRecorder
+	nRecording int
+	order      []isa.Addr // deterministic iteration order for recording
 
 	// exitThreshold optionally gives exit-stub targets a lower threshold
 	// than backward-branch targets, the Mojo variant discussed in §5.
 	// Zero means "same as NETThreshold".
 	exitThreshold int
-	exitTargets   map[isa.Addr]bool
+	exitTargets   []bool // dense address-indexed; nil unless the Mojo variant
+	mojo          bool
 }
 
 // NewNET returns a NET selector with the given parameters.
 func NewNET(params Params) *NET {
 	return &NET{
-		params:    params.withDefaults(),
-		counters:  profile.NewCounterPool(),
-		recording: make(map[isa.Addr]*tailRecorder),
+		params:   params.withDefaults(),
+		counters: profile.NewCounterPool(),
 	}
 }
 
@@ -46,8 +50,43 @@ func NewNET(params Params) *NET {
 func NewMojoNET(params Params, exitThreshold int) *NET {
 	n := NewNET(params)
 	n.exitThreshold = exitThreshold
-	n.exitTargets = make(map[isa.Addr]bool)
+	n.mojo = true
 	return n
+}
+
+// Preallocate implements Preallocator: all dense tables are sized to cover
+// the program's address space up front, so steady-state profiling never
+// grows them.
+func (n *NET) Preallocate(addrSpace int) {
+	n.counters.EnsureCap(addrSpace)
+	if len(n.recording) < addrSpace {
+		grown := make([]*tailRecorder, addrSpace)
+		copy(grown, n.recording)
+		n.recording = grown
+	}
+	if n.mojo && len(n.exitTargets) < addrSpace {
+		grown := make([]bool, addrSpace)
+		copy(grown, n.exitTargets)
+		n.exitTargets = grown
+	}
+}
+
+// recorderAt returns the active recorder for head, or nil.
+func (n *NET) recorderAt(head isa.Addr) *tailRecorder {
+	if int(head) >= len(n.recording) {
+		return nil
+	}
+	return n.recording[head]
+}
+
+// setRecorder installs (or, with nil, clears) the recorder for head.
+func (n *NET) setRecorder(head isa.Addr, r *tailRecorder) {
+	if int(head) >= len(n.recording) {
+		grown := make([]*tailRecorder, int(head)+1)
+		copy(grown, n.recording)
+		n.recording = grown
+	}
+	n.recording[head] = r
 }
 
 // Name implements Selector.
@@ -73,21 +112,33 @@ func (n *NET) Transfer(env Env, ev Event) {
 // begin a trace, so each exit to the interpreter counts an execution of its
 // target.
 func (n *NET) CacheExit(env Env, _, tgt isa.Addr) {
-	if n.exitTargets != nil {
-		n.exitTargets[tgt] = true
+	if n.mojo {
+		n.setExitTarget(tgt, true)
 	}
 	n.bump(env, tgt)
 }
 
+func (n *NET) setExitTarget(tgt isa.Addr, v bool) {
+	if int(tgt) >= len(n.exitTargets) {
+		if !v {
+			return
+		}
+		grown := make([]bool, int(tgt)+1)
+		copy(grown, n.exitTargets)
+		n.exitTargets = grown
+	}
+	n.exitTargets[tgt] = v
+}
+
 func (n *NET) threshold(addr isa.Addr) int {
-	if n.exitThreshold > 0 && n.exitTargets[addr] {
+	if n.exitThreshold > 0 && int(addr) < len(n.exitTargets) && n.exitTargets[addr] {
 		return n.exitThreshold
 	}
 	return n.params.NETThreshold
 }
 
 func (n *NET) bump(env Env, tgt isa.Addr) {
-	if _, active := n.recording[tgt]; active {
+	if n.recorderAt(tgt) != nil {
 		return
 	}
 	// The event that completes a recording can itself target the freshly
@@ -100,19 +151,20 @@ func (n *NET) bump(env Env, tgt isa.Addr) {
 		return
 	}
 	n.counters.Release(tgt)
-	if n.exitTargets != nil {
-		delete(n.exitTargets, tgt)
+	if n.mojo {
+		n.setExitTarget(tgt, false)
 	}
 	rec := newTailRecorder(env.Program(), tgt, n.params.MaxTraceInstrs, n.params.MaxTraceBlocks)
 	rec.crossBackward = n.params.AblateNETBackwardStop
-	n.recording[tgt] = rec
+	n.setRecorder(tgt, rec)
+	n.nRecording++
 	n.order = append(n.order, tgt)
 }
 
 // feedRecorders advances every active recording and promotes completed
 // traces to the code cache.
 func (n *NET) feedRecorders(env Env, ev Event) {
-	if len(n.recording) == 0 {
+	if n.nRecording == 0 {
 		return
 	}
 	kept := n.order[:0]
@@ -122,7 +174,8 @@ func (n *NET) feedRecorders(env Env, ev Event) {
 			kept = append(kept, head)
 			continue
 		}
-		delete(n.recording, head)
+		n.recording[head] = nil
+		n.nRecording--
 		n.insert(env, r.spec())
 	}
 	n.order = kept

@@ -94,7 +94,7 @@ func TestNETDropsDuplicateHeadRecording(t *testing.T) {
 		t.Fatalf("recordings = %d", len(n.recording))
 	}
 	n.Transfer(env, Event{Src: 5, Tgt: 0, Taken: true})
-	if len(n.recording) > 1 {
+	if n.nRecording > 1 {
 		t.Error("duplicate recording for one head")
 	}
 }
@@ -111,13 +111,13 @@ func TestMojoNETLowerExitThreshold(t *testing.T) {
 	// Exit targets reach the lower threshold of 2.
 	n.CacheExit(env, 5, 6)
 	n.CacheExit(env, 5, 6)
-	if _, active := n.recording[6]; !active {
+	if n.recorderAt(6) == nil {
 		t.Error("exit target did not start recording at the lower threshold")
 	}
 	// Backward targets still need the full threshold.
 	n.Transfer(env, Event{Src: 5, Tgt: 0, Taken: true})
 	n.Transfer(env, Event{Src: 5, Tgt: 0, Taken: true})
-	if _, active := n.recording[0]; active {
+	if n.recorderAt(0) != nil {
 		t.Error("backward target used the exit threshold")
 	}
 }

@@ -99,6 +99,9 @@ func NewBOA(params Params) *BOA {
 // Name implements Selector.
 func (b *BOA) Name() string { return "boa" }
 
+// Preallocate implements Preallocator for the entry-counter pool.
+func (b *BOA) Preallocate(addrSpace int) { b.entries.EnsureCap(addrSpace) }
+
 // Transfer implements Selector.
 func (b *BOA) Transfer(env Env, ev Event) {
 	in := env.Program().At(ev.Src)
@@ -243,6 +246,9 @@ func NewWRS(params Params) *WRS {
 
 // Name implements Selector.
 func (w *WRS) Name() string { return "wrs" }
+
+// Preallocate implements Preallocator for the sample-counter pool.
+func (w *WRS) Preallocate(addrSpace int) { w.samples.EnsureCap(addrSpace) }
 
 // Transfer implements Selector.
 func (w *WRS) Transfer(env Env, ev Event) {

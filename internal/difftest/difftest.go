@@ -1,0 +1,176 @@
+package difftest
+
+import (
+	"fmt"
+
+	"repro/internal/codecache"
+	"repro/internal/core"
+	"repro/internal/dynopt"
+	"repro/internal/program"
+)
+
+// CompareRun executes p to completion under the dense production selector
+// and its frozen reference twin and returns a descriptive error on the first
+// divergence: the full metric Report must be identical field for field
+// (selection decisions, counter high-waters, hit rate, code expansion, exit
+// domination, cover sets), and every selected region must match in entry,
+// shape, order, and execution statistics.
+func CompareRun(p *program.Program, dense, ref core.Selector) error {
+	dres, derr := dynopt.Run(p, dynopt.Config{Selector: dense})
+	rres, rerr := dynopt.Run(p, dynopt.Config{Selector: ref})
+	if (derr == nil) != (rerr == nil) {
+		return fmt.Errorf("difftest: error divergence: dense=%v ref=%v", derr, rerr)
+	}
+	if derr != nil {
+		return fmt.Errorf("difftest: both runs failed: %w", derr)
+	}
+	if dres.Report != rres.Report {
+		return fmt.Errorf("difftest: report divergence:\ndense: %+v\nref:   %+v", dres.Report, rres.Report)
+	}
+	if err := CompareCaches(dres.Cache, rres.Cache); err != nil {
+		return err
+	}
+	return nil
+}
+
+// CompareCaches checks that two code caches selected identical regions in
+// identical order with identical execution statistics.
+func CompareCaches(a, b *codecache.Cache) error {
+	ra, rb := a.AllRegions(), b.AllRegions()
+	if len(ra) != len(rb) {
+		return fmt.Errorf("difftest: region count divergence: dense=%d ref=%d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if err := compareRegion(ra[i], rb[i]); err != nil {
+			return fmt.Errorf("difftest: region %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func compareRegion(a, b *codecache.Region) error {
+	switch {
+	case a.Entry != b.Entry:
+		return fmt.Errorf("entry %d != %d", a.Entry, b.Entry)
+	case a.Kind != b.Kind:
+		return fmt.Errorf("kind %v != %v", a.Kind, b.Kind)
+	case a.Cyclic != b.Cyclic:
+		return fmt.Errorf("cyclic %v != %v", a.Cyclic, b.Cyclic)
+	case a.SelectedSeq != b.SelectedSeq:
+		return fmt.Errorf("selection order %d != %d", a.SelectedSeq, b.SelectedSeq)
+	case a.CacheAddr != b.CacheAddr:
+		return fmt.Errorf("cache layout %d != %d", a.CacheAddr, b.CacheAddr)
+	case a.Instrs != b.Instrs, a.Stubs != b.Stubs, a.CodeBytes != b.CodeBytes:
+		return fmt.Errorf("size accounting (%d,%d,%d) != (%d,%d,%d)",
+			a.Instrs, a.Stubs, a.CodeBytes, b.Instrs, b.Stubs, b.CodeBytes)
+	case a.Entries != b.Entries, a.Traversals != b.Traversals,
+		a.CycleTraversals != b.CycleTraversals, a.ExecInstrs != b.ExecInstrs:
+		return fmt.Errorf("execution stats (%d,%d,%d,%d) != (%d,%d,%d,%d)",
+			a.Entries, a.Traversals, a.CycleTraversals, a.ExecInstrs,
+			b.Entries, b.Traversals, b.CycleTraversals, b.ExecInstrs)
+	case len(a.Blocks) != len(b.Blocks):
+		return fmt.Errorf("block count %d != %d", len(a.Blocks), len(b.Blocks))
+	}
+	for j := range a.Blocks {
+		if a.Blocks[j] != b.Blocks[j] {
+			return fmt.Errorf("block %d: %+v != %+v", j, a.Blocks[j], b.Blocks[j])
+		}
+	}
+	return nil
+}
+
+// streamEnv is a minimal core.Env for driving a selector from a synthetic
+// branch stream (no interpreter behind it), used by the fuzz targets.
+type streamEnv struct {
+	prog  *program.Program
+	cache *codecache.Cache
+	errs  []error
+}
+
+func newStreamEnv(p *program.Program) *streamEnv {
+	return &streamEnv{prog: p, cache: codecache.New(p)}
+}
+
+func (e *streamEnv) Program() *program.Program { return e.prog }
+func (e *streamEnv) Cache() *codecache.Cache   { return e.cache }
+func (e *streamEnv) Insert(spec codecache.Spec) (*codecache.Region, error) {
+	return e.cache.Insert(spec)
+}
+func (e *streamEnv) Fail(err error) { e.errs = append(e.errs, err) }
+
+// FeedStream decodes data into a branch-event stream shaped like what the
+// simulator emits — targets are block leaders, sources are block-end
+// instructions — and feeds it to sel through its own environment. ToCache is
+// derived from the environment's own cache, and CacheExit events are
+// delivered only when the target is not a cached entry, preserving the
+// simulator's invariants. It returns the environment for inspection.
+func FeedStream(p *program.Program, sel core.Selector, data []byte) *streamEnv {
+	env := newStreamEnv(p)
+	leaders := p.BlockStarts()
+	for i := 0; i+3 <= len(data); i += 3 {
+		tgt := leaders[int(data[i])%len(leaders)]
+		srcBlock := leaders[int(data[i+1])%len(leaders)]
+		src := p.BlockEnd(srcBlock) - 1
+		ctl := data[i+2]
+		if ctl&0x80 != 0 {
+			// Cache-exit event: only valid when the target is interpreted.
+			if !env.cache.HasEntry(tgt) {
+				sel.CacheExit(env, src, tgt)
+			}
+			continue
+		}
+		ev := core.Event{
+			Src:     src,
+			Tgt:     tgt,
+			Taken:   ctl&1 != 0,
+			ToCache: env.cache.HasEntry(tgt),
+		}
+		sel.Transfer(env, ev)
+	}
+	return env
+}
+
+// CompareStreams feeds the same synthetic stream to a dense selector and its
+// reference twin and checks that they selected identical regions and report
+// identical profiling statistics.
+func CompareStreams(p *program.Program, dense, ref core.Selector, data []byte) error {
+	denv := FeedStream(p, dense, data)
+	renv := FeedStream(p, ref, data)
+	if len(denv.errs) != len(renv.errs) {
+		return fmt.Errorf("difftest: selector error divergence: dense=%v ref=%v", denv.errs, renv.errs)
+	}
+	if ds, rs := dense.Stats(), ref.Stats(); ds != rs {
+		return fmt.Errorf("difftest: stats divergence: dense=%+v ref=%+v", ds, rs)
+	}
+	return CompareCaches(denv.cache, renv.cache)
+}
+
+// RandomParams derives varied-but-valid selection parameters from a seed so
+// the random-program corpus exercises low thresholds, small history buffers
+// (forcing eviction and dangling-hash paths), and tight trace limits.
+func RandomParams(seed int64) core.Params {
+	params := core.DefaultParams()
+	params.NETThreshold = 2 + int(seed%7)
+	params.LEIThreshold = 2 + int(seed%5)
+	params.HistoryCap = 8 + int(seed%5)*31
+	params.MaxTraceInstrs = 64 + int(seed%3)*128
+	params.MaxTraceBlocks = 8 + int(seed%4)*16
+	return params
+}
+
+// Pair couples a dense production selector with its frozen reference.
+type Pair struct {
+	Name  string
+	Dense core.Selector
+	Ref   core.Selector
+}
+
+// Pairs returns fresh production/reference selector pairs for every
+// algorithm with a frozen reference: NET, Mojo-NET, and LEI.
+func Pairs(params core.Params) []Pair {
+	return []Pair{
+		{Name: "net", Dense: core.NewNET(params), Ref: NewRefNET(params)},
+		{Name: "mojo-net", Dense: core.NewMojoNET(params, 2), Ref: NewRefMojoNET(params, 2)},
+		{Name: "lei", Dense: core.NewLEI(params), Ref: NewRefLEI(params)},
+	}
+}

@@ -1,0 +1,80 @@
+package difftest
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/program"
+	"repro/internal/workloads"
+)
+
+// fuzzProgs lazily builds a small cycle of random structured programs so
+// each fuzz execution gets a real control-flow substrate without paying
+// generation cost per input.
+var (
+	fuzzProgMu sync.Mutex
+	fuzzProgs  [8]*program.Program
+)
+
+func fuzzProgram(seed uint8) *program.Program {
+	i := int(seed) % len(fuzzProgs)
+	fuzzProgMu.Lock()
+	defer fuzzProgMu.Unlock()
+	if fuzzProgs[i] == nil {
+		fuzzProgs[i] = workloads.Random(workloads.GenConfig{
+			Seed:       int64(i) + 1,
+			Funcs:      i % 3,
+			MaxDepth:   2,
+			Iters:      6,
+			Constructs: 3,
+		})
+	}
+	return fuzzProgs[i]
+}
+
+func fuzzSeeds(f *testing.F) {
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(1), []byte{3, 1, 1, 5, 2, 1, 3, 4, 0x81})
+	f.Add(uint8(2), []byte{0, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0, 1})
+	f.Add(uint8(3), []byte{7, 2, 0x80, 7, 2, 1, 9, 3, 1, 7, 2, 1, 1, 1, 0})
+	f.Add(uint8(5), []byte{2, 9, 1, 4, 9, 1, 2, 9, 1, 4, 9, 1, 2, 9, 1, 4, 9, 1})
+}
+
+// FuzzNETSelect cross-checks the dense NET selector (slice-indexed
+// recording table, dense Mojo exit-target marks) against the frozen
+// map-based reference on arbitrary branch streams.
+func FuzzNETSelect(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, progSeed uint8, data []byte) {
+		p := fuzzProgram(progSeed)
+		params := RandomParams(int64(progSeed))
+		if err := CompareStreams(p, core.NewNET(params), NewRefNET(params), data); err != nil {
+			t.Fatalf("net: %v", err)
+		}
+		if err := CompareStreams(p, core.NewMojoNET(params, 2), NewRefMojoNET(params, 2), data); err != nil {
+			t.Fatalf("mojo-net: %v", err)
+		}
+	})
+}
+
+// FuzzLEISelect cross-checks the dense LEI selector (dense-hash history
+// buffer, pre-sizable counter pool) against the frozen map-based reference
+// on arbitrary branch streams, including streams that thrash a tiny history
+// buffer through eviction and truncation.
+func FuzzLEISelect(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, progSeed uint8, data []byte) {
+		p := fuzzProgram(progSeed)
+		params := RandomParams(int64(progSeed))
+		if err := CompareStreams(p, core.NewLEI(params), NewRefLEI(params), data); err != nil {
+			t.Fatalf("lei: %v", err)
+		}
+		// A one-entry buffer maximizes eviction and dangling-hash traffic.
+		tiny := params
+		tiny.HistoryCap = 1
+		if err := CompareStreams(p, core.NewLEI(tiny), NewRefLEI(tiny), data); err != nil {
+			t.Fatalf("lei tiny-buffer: %v", err)
+		}
+	})
+}

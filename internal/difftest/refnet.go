@@ -1,0 +1,234 @@
+package difftest
+
+import (
+	"errors"
+
+	"repro/internal/codecache"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// withDefaults fills zero Params fields from core.DefaultParams, mirroring
+// the unexported production helper so reference selectors accept the same
+// partially specified configurations.
+func withDefaults(p core.Params) core.Params {
+	d := core.DefaultParams()
+	if p.NETThreshold <= 0 {
+		p.NETThreshold = d.NETThreshold
+	}
+	if p.LEIThreshold <= 0 {
+		p.LEIThreshold = d.LEIThreshold
+	}
+	if p.HistoryCap <= 0 {
+		p.HistoryCap = d.HistoryCap
+	}
+	if p.TProf <= 0 {
+		p.TProf = d.TProf
+	}
+	if p.TMin <= 0 {
+		p.TMin = d.TMin
+	}
+	if p.MaxTraceInstrs <= 0 {
+		p.MaxTraceInstrs = d.MaxTraceInstrs
+	}
+	if p.MaxTraceBlocks <= 0 {
+		p.MaxTraceBlocks = d.MaxTraceBlocks
+	}
+	return p
+}
+
+// refTailRecorder is the frozen next-executing-tail recorder, identical in
+// behavior to the production one; it is duplicated here so the reference
+// selector stack shares no code with the implementations under test.
+type refTailRecorder struct {
+	head          isa.Addr
+	prog          *program.Program
+	maxInstrs     int
+	maxBlocks     int
+	crossBackward bool
+
+	blocks   []codecache.BlockSpec
+	instrs   int
+	lastAddr isa.Addr
+	cyclic   bool
+	done     bool
+}
+
+func newRefTailRecorder(p *program.Program, head isa.Addr, maxInstrs, maxBlocks int) *refTailRecorder {
+	r := &refTailRecorder{head: head, prog: p, maxInstrs: maxInstrs, maxBlocks: maxBlocks}
+	r.appendBlock(head)
+	return r
+}
+
+func (r *refTailRecorder) appendBlock(start isa.Addr) {
+	n := r.prog.BlockLen(start)
+	r.blocks = append(r.blocks, codecache.BlockSpec{Start: start, Len: n})
+	r.instrs += n
+	r.lastAddr = start + isa.Addr(n) - 1
+}
+
+func (r *refTailRecorder) contains(addr isa.Addr) bool {
+	for _, b := range r.blocks {
+		if b.Start == addr {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refTailRecorder) feed(ev core.Event) bool {
+	if r.done {
+		return true
+	}
+	if ev.Taken && ev.Tgt <= ev.Src {
+		if !r.crossBackward || ev.Tgt == r.head {
+			r.cyclic = ev.Tgt == r.head
+			r.done = true
+			return true
+		}
+	}
+	if ev.Taken && ev.ToCache {
+		r.done = true
+		return true
+	}
+	if r.contains(ev.Tgt) {
+		r.done = true
+		return true
+	}
+	n := r.prog.BlockLen(ev.Tgt)
+	if r.instrs+n > r.maxInstrs || len(r.blocks) >= r.maxBlocks {
+		r.done = true
+		return true
+	}
+	r.appendBlock(ev.Tgt)
+	return false
+}
+
+func (r *refTailRecorder) spec() codecache.Spec {
+	return codecache.Spec{
+		Entry:  r.head,
+		Kind:   codecache.KindTrace,
+		Blocks: r.blocks,
+		Cyclic: r.cyclic,
+	}
+}
+
+// RefNET is the frozen map-based NET selector: recording state and Mojo
+// exit-target marks live in Go maps, and counters in a RefCounterPool,
+// exactly as before the dense migration. It implements core.Selector and
+// reports the same Name as the production NET so full metric Reports can be
+// compared field for field.
+type RefNET struct {
+	params        core.Params
+	counters      *RefCounterPool
+	recording     map[isa.Addr]*refTailRecorder
+	order         []isa.Addr
+	exitThreshold int
+	exitTargets   map[isa.Addr]bool
+}
+
+// NewRefNET returns the reference NET selector.
+func NewRefNET(params core.Params) *RefNET {
+	return &RefNET{
+		params:    withDefaults(params),
+		counters:  NewRefCounterPool(),
+		recording: map[isa.Addr]*refTailRecorder{},
+	}
+}
+
+// NewRefMojoNET returns the reference Mojo variant.
+func NewRefMojoNET(params core.Params, exitThreshold int) *RefNET {
+	n := NewRefNET(params)
+	n.exitThreshold = exitThreshold
+	n.exitTargets = map[isa.Addr]bool{}
+	return n
+}
+
+// Name implements core.Selector, matching the production names.
+func (n *RefNET) Name() string {
+	if n.exitThreshold > 0 {
+		return "mojo-net"
+	}
+	return "net"
+}
+
+// Transfer implements core.Selector.
+func (n *RefNET) Transfer(env core.Env, ev core.Event) {
+	n.feedRecorders(env, ev)
+	if !ev.Taken || ev.ToCache {
+		return
+	}
+	if ev.Backward() {
+		n.bump(env, ev.Tgt)
+	}
+}
+
+// CacheExit implements core.Selector.
+func (n *RefNET) CacheExit(env core.Env, _, tgt isa.Addr) {
+	if n.exitTargets != nil {
+		n.exitTargets[tgt] = true
+	}
+	n.bump(env, tgt)
+}
+
+func (n *RefNET) threshold(addr isa.Addr) int {
+	if n.exitThreshold > 0 && n.exitTargets[addr] {
+		return n.exitThreshold
+	}
+	return n.params.NETThreshold
+}
+
+func (n *RefNET) bump(env core.Env, tgt isa.Addr) {
+	if _, active := n.recording[tgt]; active {
+		return
+	}
+	if env.Cache().HasEntry(tgt) {
+		return
+	}
+	if n.counters.Incr(tgt) < n.threshold(tgt) {
+		return
+	}
+	n.counters.Release(tgt)
+	if n.exitTargets != nil {
+		delete(n.exitTargets, tgt)
+	}
+	rec := newRefTailRecorder(env.Program(), tgt, n.params.MaxTraceInstrs, n.params.MaxTraceBlocks)
+	rec.crossBackward = n.params.AblateNETBackwardStop
+	n.recording[tgt] = rec
+	n.order = append(n.order, tgt)
+}
+
+func (n *RefNET) feedRecorders(env core.Env, ev core.Event) {
+	if len(n.recording) == 0 {
+		return
+	}
+	kept := n.order[:0]
+	for _, head := range n.order {
+		r := n.recording[head]
+		if !r.feed(ev) {
+			kept = append(kept, head)
+			continue
+		}
+		delete(n.recording, head)
+		n.insert(env, r.spec())
+	}
+	n.order = kept
+}
+
+func (n *RefNET) insert(env core.Env, spec codecache.Spec) {
+	if env.Cache().HasEntry(spec.Entry) {
+		return
+	}
+	if _, err := env.Insert(spec); err != nil {
+		env.Fail(errors.Join(errors.New("refnet: inserting trace"), err))
+	}
+}
+
+// Stats implements core.Selector.
+func (n *RefNET) Stats() core.ProfileStats {
+	return core.ProfileStats{
+		CountersHighWater: n.counters.HighWater(),
+		CounterAllocs:     n.counters.Allocations(),
+	}
+}

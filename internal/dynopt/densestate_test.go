@@ -1,0 +1,149 @@
+package dynopt
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/metrics"
+	"repro/internal/program"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// TestLEISteadyStateAllocFree pins the dense-state migration's goal for the
+// LEI hot path: once the simulator's tables are pre-sized (NewSimulator
+// calls Preallocate with the program's address-space size), delivering
+// taken-branch events through the full LEI profiling sequence — history
+// ring insert, dense-hash lookup, set-hash, counter increment — must not
+// allocate. The threshold is set unreachably high so cycles complete on
+// every event but no trace is ever formed.
+func TestLEISteadyStateAllocFree(t *testing.T) {
+	prog := loopProgram(t, 1)
+	params := core.DefaultParams()
+	params.LEIThreshold = 1 << 30
+	sim := NewSimulator(prog, Config{Selector: core.NewLEI(params)})
+	sim.pos = prog.Entry()
+	// Warm up: the entry fall-through, then enough backward branches to
+	// touch every edge cell the steady state will touch.
+	sim.BlockBatch([]vm.BlockEvent{{Src: 0, Tgt: 1, Taken: false}})
+	batch := make([]vm.BlockEvent, 64)
+	for i := range batch {
+		batch[i] = vm.BlockEvent{Src: 3, Tgt: 1, Kind: vm.KindCond, Taken: true}
+	}
+	sim.BlockBatch(batch)
+	if allocs := testing.AllocsPerRun(100, func() { sim.BlockBatch(batch) }); allocs != 0 {
+		t.Fatalf("steady-state LEI profiling allocated %.1f times per batch, want 0", allocs)
+	}
+	if sim.region != nil {
+		t.Fatal("LEI selected a region despite the unreachable threshold")
+	}
+}
+
+// TestPooledAnalyzeAllocFree pins the pooled metrics path: after one
+// warm-up call, re-analyzing a finished run on the same metrics.Analyzer
+// must not allocate — the predecessor table, cover-set ordering buffer, and
+// domination work list are all reused, and the de-mapped link counting in
+// the code cache allocates nothing.
+func TestPooledAnalyzeAllocFree(t *testing.T) {
+	sel := core.NewLEI(core.DefaultParams())
+	res, err := Run(workloads.MustGet("fig3-nested-loops").Build(30), Config{Selector: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Regions == 0 {
+		t.Fatal("want a non-trivial run with selected regions")
+	}
+	st := sel.Stats()
+	var a metrics.Analyzer
+	warm := a.Analyze(res.Cache, res.Collector, st)
+	warm.Selector = res.Report.Selector // stamped by Run, not by Analyze
+	if warm != res.Report {
+		// The run's own report went through the same code; they must agree.
+		t.Fatalf("pooled analyzer diverges from run report:\npooled: %+v\nrun:    %+v", warm, res.Report)
+	}
+	if allocs := testing.AllocsPerRun(50, func() { a.Analyze(res.Cache, res.Collector, st) }); allocs != 0 {
+		t.Fatalf("steady-state Analyze allocated %.1f times per call, want 0", allocs)
+	}
+}
+
+// tailBranchProgram builds a program whose final instruction is a taken
+// backward branch:
+//
+//	0: movi r1, n        entry
+//	1: jmp 4             to the loop tail
+//	2: halt              "done"
+//	3: addi r1, r1, -1   loop body
+//	4: br le r1, r0, 2   exits the loop when the counter runs out
+//	5: jmp 3             last instruction; taken on every iteration
+//
+// Every dense table sized from program.Len() must tolerate addresses
+// reaching the one-past-the-end predecode sentinel the VM keeps at index
+// Len; a block whose final instruction is the program's last instruction is
+// the boundary case (its block end IS the sentinel address).
+func tailBranchProgram(t *testing.T, n int64) *program.Program {
+	t.Helper()
+	b := program.NewBuilder()
+	b.MovImm(1, n)
+	b.Jmp("tail")
+	b.Label("done")
+	b.Halt()
+	b.Label("body")
+	b.AddImm(1, 1, -1)
+	b.Label("tail")
+	b.Br(isa.CondLe, 1, 0, "done")
+	b.Jmp("body")
+	return b.MustBuild()
+}
+
+// TestTailTakenBranchSentinel is the regression test for the sentinel
+// off-by-one: run the tail-branch program under every selector, with
+// thresholds low enough that the final block (whose end is the program
+// boundary) is profiled, selected, and executed from the cache.
+func TestTailTakenBranchSentinel(t *testing.T) {
+	prog := tailBranchProgram(t, 400)
+	params := core.DefaultParams()
+	params.NETThreshold = 4
+	params.LEIThreshold = 3
+	params.TProf = 2
+	selectors := []func() core.Selector{
+		func() core.Selector { return core.NewNET(params) },
+		func() core.Selector { return core.NewLEI(params) },
+		func() core.Selector { return core.NewMojoNET(params, 2) },
+		func() core.Selector { return core.NewCombiner(core.BaseNET, params) },
+		func() core.Selector { return core.NewCombiner(core.BaseLEI, params) },
+		func() core.Selector { return core.NewBOA(params) },
+		func() core.Selector { return core.NewWRS(params) },
+	}
+	scratch := &Scratch{}
+	for _, newSel := range selectors {
+		sel := newSel()
+		res, err := Run(prog, Config{Selector: sel})
+		if err != nil {
+			t.Fatalf("%s: %v", sel.Name(), err)
+		}
+		if res.Report.TotalInstrs != res.VMStats.Instrs {
+			t.Errorf("%s: attribution mismatch", sel.Name())
+		}
+		// The pooled path must survive the boundary case too, including
+		// when the scratch was previously sized by a different program.
+		pooled, err := Run(prog, Config{Selector: newSel(), Scratch: scratch})
+		if err != nil {
+			t.Fatalf("%s pooled: %v", sel.Name(), err)
+		}
+		if pooled.Report != res.Report {
+			t.Errorf("%s: pooled report diverges on sentinel-boundary program", sel.Name())
+		}
+	}
+	// The hot loop's tail block must actually have been cached under NET:
+	// the boundary block participated in region execution, not just
+	// profiling.
+	sel := core.NewNET(params)
+	res, err := Run(prog, Config{Selector: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Regions == 0 || res.Report.CacheInstrs == 0 {
+		t.Fatalf("NET selected nothing on the tail-branch program: %+v", res.Report)
+	}
+}

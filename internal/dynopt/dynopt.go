@@ -51,6 +51,24 @@ type Config struct {
 	// simulations back to back (the experiment harness) avoid re-allocating
 	// the memory image for every run.
 	Machine *vm.Machine
+	// Scratch, when set, pools every reusable piece of per-run state —
+	// interpreter, simulator, metrics collector, and report analyzer —
+	// across back-to-back runs. It subsumes Machine (which is then
+	// ignored). The code cache is still fresh per run: it is part of the
+	// Result.
+	Scratch *Scratch
+}
+
+// Scratch holds the pooled per-run state for callers running many
+// simulations back to back (one Scratch per harness worker). The zero value
+// is ready to use. While a Scratch is set, the Result's Collector and the
+// report's intermediate tables live in the Scratch and are invalidated by
+// the next run that uses it.
+type Scratch struct {
+	machine  vm.Machine
+	col      metrics.Collector
+	analyzer metrics.Analyzer
+	sim      Simulator
 }
 
 // Tracer observes the simulated system's state machine.
@@ -94,7 +112,11 @@ type Simulator struct {
 	errs     []error
 }
 
-// NewSimulator prepares a run of p under cfg.
+// NewSimulator prepares a run of p under cfg. Dense per-address state — the
+// collector's edge table and any core.Preallocator tables of the selector —
+// is sized to the program's address space up front (program length plus one,
+// covering the VM's one-past-the-end predecode sentinel), so the simulation
+// hot path never grows a table.
 func NewSimulator(p *program.Program, cfg Config) *Simulator {
 	var cache *codecache.Cache
 	if cfg.CacheLimitBytes > 0 {
@@ -102,14 +124,30 @@ func NewSimulator(p *program.Program, cfg Config) *Simulator {
 	} else {
 		cache = codecache.New(p)
 	}
-	return &Simulator{
+	var sim *Simulator
+	var col *metrics.Collector
+	if cfg.Scratch != nil {
+		sim = &cfg.Scratch.sim
+		col = &cfg.Scratch.col
+		col.Reset()
+	} else {
+		sim = &Simulator{}
+		col = metrics.NewCollector()
+	}
+	addrSpace := p.Len() + 1
+	col.EnsureCap(addrSpace)
+	if pre, ok := cfg.Selector.(core.Preallocator); ok {
+		pre.Preallocate(addrSpace)
+	}
+	*sim = Simulator{
 		prog:   p,
 		cache:  cache,
 		sel:    cfg.Selector,
-		col:    metrics.NewCollector(),
+		col:    col,
 		ic:     cfg.ICache,
 		tracer: cfg.Tracer,
 	}
+	return sim
 }
 
 // Program implements core.Env.
@@ -293,14 +331,26 @@ func RunStream(p *program.Program, cfg Config, feed func(vm.Sink) (finalPC isa.A
 		return Result{}, fmt.Errorf("dynopt: attribution mismatch: simulator saw %d instructions, stream recorded %d",
 			sim.col.TotalInstrs, instrs)
 	}
-	report := metrics.Analyze(sim.cache, sim.col, cfg.Selector.Stats())
-	report.Selector = cfg.Selector.Name()
+	report := analyzeRun(sim, cfg)
 	return Result{
 		Report:    report,
 		VMStats:   vm.Stats{Instrs: sim.col.TotalInstrs, FinalPC: finalPC},
 		Cache:     sim.cache,
 		Collector: sim.col,
 	}, nil
+}
+
+// analyzeRun produces the run's report, through the pooled analyzer when a
+// Scratch is configured.
+func analyzeRun(sim *Simulator, cfg Config) metrics.Report {
+	var report metrics.Report
+	if cfg.Scratch != nil {
+		report = cfg.Scratch.analyzer.Analyze(sim.cache, sim.col, cfg.Selector.Stats())
+	} else {
+		report = metrics.Analyze(sim.cache, sim.col, cfg.Selector.Stats())
+	}
+	report.Selector = cfg.Selector.Name()
+	return report
 }
 
 // Run interprets the program to completion under the configured selector
@@ -316,6 +366,9 @@ func Run(p *program.Program, cfg Config) (Result, error) {
 		}
 	}
 	machine := cfg.Machine
+	if cfg.Scratch != nil {
+		machine = &cfg.Scratch.machine
+	}
 	if machine != nil {
 		machine.Load(p, cfg.VM)
 	} else {
@@ -333,8 +386,7 @@ func Run(p *program.Program, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("dynopt: attribution mismatch: simulator saw %d instructions, vm executed %d",
 			sim.col.TotalInstrs, stats.Instrs)
 	}
-	report := metrics.Analyze(sim.cache, sim.col, cfg.Selector.Stats())
-	report.Selector = cfg.Selector.Name()
+	report := analyzeRun(sim, cfg)
 	return Result{
 		Report:    report,
 		VMStats:   stats,

@@ -83,8 +83,9 @@ func RunOne(bench, sel string, scale int, params core.Params) (metrics.Report, e
 }
 
 // runOne simulates one (workload, selector) pair, optionally on a reusable
-// machine so back-to-back runs share one interpreter memory image.
-func runOne(bench, sel string, scale int, params core.Params, m *vm.Machine) (metrics.Report, error) {
+// scratch so back-to-back runs share one interpreter memory image, metrics
+// collector, and report analyzer.
+func runOne(bench, sel string, scale int, params core.Params, scratch *dynopt.Scratch) (metrics.Report, error) {
 	w, ok := workloads.Get(bench)
 	if !ok {
 		return metrics.Report{}, fmt.Errorf("experiments: unknown workload %q", bench)
@@ -93,7 +94,7 @@ func runOne(bench, sel string, scale int, params core.Params, m *vm.Machine) (me
 	if err != nil {
 		return metrics.Report{}, err
 	}
-	res, err := dynopt.Run(w.Build(scale), dynopt.Config{Selector: s, VM: vm.Config{}, Machine: m})
+	res, err := dynopt.Run(w.Build(scale), dynopt.Config{Selector: s, VM: vm.Config{}, Scratch: scratch})
 	if err != nil {
 		return metrics.Report{}, fmt.Errorf("experiments: %s under %s: %w", bench, sel, err)
 	}
@@ -123,11 +124,12 @@ func RunAll(scale int, params core.Params) (*Results, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// One reusable interpreter per worker: every run on this worker
-			// shares the same data-memory image and predecode buffers.
-			machine := &vm.Machine{}
+			// One reusable scratch per worker: every run on this worker
+			// shares the same interpreter memory image, predecode buffers,
+			// metrics collector, and report-analyzer tables.
+			scratch := &dynopt.Scratch{}
 			for j := range jobs {
-				rep, err := runOne(j.bench, j.sel, scale, params, machine)
+				rep, err := runOne(j.bench, j.sel, scale, params, scratch)
 				mu.Lock()
 				if err != nil {
 					errs = append(errs, err)

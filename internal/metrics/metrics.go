@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -56,6 +57,29 @@ type edgeCell struct {
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
 	return &Collector{}
+}
+
+// EnsureCap grows the edge table to cover source leaders below n, so a run
+// over a program of known address-space size records edges without ever
+// growing the table.
+func (c *Collector) EnsureCap(n int) {
+	if n <= len(c.edges) {
+		return
+	}
+	grown := make([][]edgeCell, n)
+	copy(grown, c.edges)
+	c.edges = grown
+}
+
+// Reset clears the collector for reuse, keeping the edge table's backing
+// storage (including each source's successor-cell array) so a pooled
+// collector reaches steady state with no allocation.
+func (c *Collector) Reset() {
+	edges := c.edges
+	for i := range edges {
+		edges[i] = edges[i][:0]
+	}
+	*c = Collector{edges: edges}
 }
 
 // Block records the completed execution of a block of n instructions.
@@ -201,8 +225,115 @@ type Report struct {
 	ObservedPctOfCache float64
 }
 
+// Analyzer computes Reports while pooling the per-region scratch tables
+// (predecessor lists, cover-set ordering, domination work lists) across
+// runs. The harness analyzes every (workload, selector) pair with the same
+// per-worker Analyzer, so steady-state Analyze performs no allocation; the
+// package-level Analyze wrapper remains for one-shot callers.
+type Analyzer struct {
+	// preds is a dense table of distinct executed predecessor leaders per
+	// target leader; predsHot lists the touched targets so clearing between
+	// runs is proportional to the program actually executed.
+	preds    [][]isa.Addr
+	predsHot []isa.Addr
+	byExec   []*codecache.Region
+	outside  []isa.Addr
+}
+
+// Analyze computes a Report from a finished run, reusing the analyzer's
+// scratch tables. It is equivalent to the package-level Analyze.
+func (a *Analyzer) Analyze(cache *codecache.Cache, col *Collector, selStats core.ProfileStats) Report {
+	return analyze(a, cache, col, selStats)
+}
+
+// buildPreds fills the dense predecessor table from the collector's edge
+// counts. Iterating sources in ascending address order yields each target's
+// predecessor list already sorted, matching PredsOf.
+func (a *Analyzer) buildPreds(col *Collector) {
+	for _, to := range a.predsHot {
+		a.preds[to] = a.preds[to][:0]
+	}
+	a.predsHot = a.predsHot[:0]
+	for from, cells := range col.edges {
+		for _, cell := range cells {
+			to := int(cell.to)
+			if to >= len(a.preds) {
+				grown := make([][]isa.Addr, to+1)
+				copy(grown, a.preds)
+				a.preds = grown
+			}
+			if len(a.preds[to]) == 0 {
+				a.predsHot = append(a.predsHot, cell.to)
+			}
+			a.preds[to] = append(a.preds[to], isa.Addr(from))
+		}
+	}
+}
+
+// coverSet is CoverSet over the analyzer's pooled ordering buffer.
+func (a *Analyzer) coverSet(regions []*codecache.Region, totalInstrs uint64, frac float64) (int, bool) {
+	a.byExec = append(a.byExec[:0], regions...)
+	slices.SortFunc(a.byExec, func(x, y *codecache.Region) int {
+		if x.ExecInstrs != y.ExecInstrs {
+			if x.ExecInstrs > y.ExecInstrs {
+				return -1
+			}
+			return 1
+		}
+		if x.SelectedSeq < y.SelectedSeq {
+			return -1
+		}
+		if x.SelectedSeq > y.SelectedSeq {
+			return 1
+		}
+		return 0
+	})
+	need := uint64(frac * float64(totalInstrs))
+	if need == 0 {
+		return 0, true
+	}
+	var sum uint64
+	for i, reg := range a.byExec {
+		sum += reg.ExecInstrs
+		if sum >= need {
+			return i + 1, true
+		}
+	}
+	return len(a.byExec), false
+}
+
+// exitDomination is AnalyzeExitDomination over the pooled predecessor table,
+// without recording the dominator pairs.
+func (a *Analyzer) exitDomination(regions []*codecache.Region) (dominated, dupInstrs int) {
+	for _, s := range regions {
+		a.outside = a.outside[:0]
+		if int(s.Entry) < len(a.preds) {
+			for _, p := range a.preds[s.Entry] {
+				if !s.Contains(p) {
+					a.outside = append(a.outside, p)
+				}
+			}
+		}
+		if len(a.outside) != 1 {
+			continue
+		}
+		dominator := findDominator(regions, s, a.outside[0])
+		if dominator == nil {
+			continue
+		}
+		dominated++
+		dupInstrs += overlapInstrs(dominator, s)
+	}
+	return dominated, dupInstrs
+}
+
 // Analyze computes a Report from a finished run.
 func Analyze(cache *codecache.Cache, col *Collector, selStats core.ProfileStats) Report {
+	var a Analyzer
+	return analyze(&a, cache, col, selStats)
+}
+
+func analyze(a *Analyzer, cache *codecache.Cache, col *Collector, selStats core.ProfileStats) Report {
 	r := Report{
 		TotalInstrs:     col.TotalInstrs,
 		CacheInstrs:     col.CacheInstrs,
@@ -240,10 +371,9 @@ func Analyze(cache *codecache.Cache, col *Collector, selStats core.ProfileStats)
 	if r.Traversals > 0 {
 		r.ExecutedRatio = float64(r.CycleTraversals) / float64(r.Traversals)
 	}
-	r.CoverSet90, r.CoverSet90OK = CoverSet(regions, col.TotalInstrs, 0.90)
-	dom := AnalyzeExitDomination(regions, col)
-	r.ExitDominated = dom.DominatedRegions
-	r.ExitDomDupInstrs = dom.DuplicatedInstrs
+	r.CoverSet90, r.CoverSet90OK = a.coverSet(regions, col.TotalInstrs, 0.90)
+	a.buildPreds(col)
+	r.ExitDominated, r.ExitDomDupInstrs = a.exitDomination(regions)
 	if r.Regions > 0 {
 		r.ExitDominatedRatio = float64(r.ExitDominated) / float64(r.Regions)
 	}
@@ -341,7 +471,7 @@ func findDominator(regions []*codecache.Region, s *codecache.Region, p isa.Addr)
 		if pi < 0 {
 			continue
 		}
-		if edgeInternal(r, pi, s.Entry) {
+		if r.InternalEdge(pi, s.Entry) {
 			continue
 		}
 		if best == nil || r.SelectedSeq < best.SelectedSeq {
@@ -349,17 +479,6 @@ func findDominator(regions []*codecache.Region, s *codecache.Region, p isa.Addr)
 		}
 	}
 	return best
-}
-
-// edgeInternal reports whether region r routes control from its block pi to
-// the block starting at tgt internally (no exit taken).
-func edgeInternal(r *codecache.Region, pi int, tgt isa.Addr) bool {
-	for _, si := range r.Succs[pi] {
-		if r.Blocks[si].Start == tgt {
-			return true
-		}
-	}
-	return false
 }
 
 // overlapInstrs counts the instructions present in both regions (shared

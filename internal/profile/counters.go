@@ -39,6 +39,16 @@ func (p *CounterPool) grow(addr isa.Addr) {
 	if n < 2*len(p.counters) {
 		n = 2 * len(p.counters)
 	}
+	p.EnsureCap(n)
+}
+
+// EnsureCap grows the dense tables to cover addresses [0, n), so a run whose
+// profiled targets stay below n never triggers growth on the hot path. The
+// simulator pre-sizes selector state from the program length at run start.
+func (p *CounterPool) EnsureCap(n int) {
+	if n <= len(p.counters) {
+		return
+	}
 	counters := make([]int, n)
 	copy(counters, p.counters)
 	p.counters = counters

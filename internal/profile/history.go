@@ -48,11 +48,18 @@ type HistoryEntry struct {
 // position never changes, and a position is valid only while the entry is
 // still resident. Hash entries that dangle after eviction or truncation are
 // detected lazily by re-validating the resident entry's target.
+//
+// The "hash" is not a hash at all: branch targets are instruction addresses,
+// so the target->position table is a dense address-indexed slice (like the
+// CounterPool), making the once-per-taken-branch Lookup/SetHash pair on the
+// LEI hot path two bounds-checked array accesses instead of map operations.
+// Cells store seq+1 so the zero value means "absent" and the table can be
+// grown (or pre-sized via EnsureAddrCap) without initialization.
 type HistoryBuffer struct {
 	slots   []HistoryEntry
-	hash    map[isa.Addr]uint64 // target -> seq of most recent occurrence
-	first   uint64              // seq of oldest resident entry
-	next    uint64              // seq the next insert will receive
+	hash    []uint64 // target -> seq+1 of most recent occurrence (0 = none)
+	first   uint64   // seq of oldest resident entry
+	next    uint64   // seq the next insert will receive
 	inserts uint64
 }
 
@@ -64,8 +71,19 @@ func NewHistoryBuffer(capacity int) *HistoryBuffer {
 	}
 	return &HistoryBuffer{
 		slots: make([]HistoryEntry, capacity),
-		hash:  make(map[isa.Addr]uint64),
 	}
+}
+
+// EnsureAddrCap grows the target table to cover addresses [0, n), so a run
+// whose branch targets stay below n never grows it again. The simulator
+// pre-sizes selector state from the program length at run start.
+func (b *HistoryBuffer) EnsureAddrCap(n int) {
+	if n <= len(b.hash) {
+		return
+	}
+	grown := make([]uint64, n)
+	copy(grown, b.hash)
+	b.hash = grown
 }
 
 // Cap returns the buffer capacity.
@@ -89,8 +107,8 @@ func (b *HistoryBuffer) Insert(src, tgt isa.Addr, kind EntryKind) uint64 {
 		// Evict the oldest entry; drop its hash reference if it is still
 		// the most recent occurrence of its target.
 		old := b.slot(b.first)
-		if s, ok := b.hash[old.Tgt]; ok && s == b.first {
-			delete(b.hash, old.Tgt)
+		if int(old.Tgt) < len(b.hash) && b.hash[old.Tgt] == b.first+1 {
+			b.hash[old.Tgt] = 0
 		}
 		b.first++
 	}
@@ -108,8 +126,15 @@ func (b *HistoryBuffer) resident(seq uint64) bool { return seq >= b.first && seq
 // hash is consulted after the new branch has been inserted, so a hit means
 // the target completed a cycle.
 func (b *HistoryBuffer) Lookup(tgt isa.Addr) (uint64, bool) {
-	seq, ok := b.hash[tgt]
-	if !ok || !b.resident(seq) {
+	if int(tgt) >= len(b.hash) {
+		return 0, false
+	}
+	cell := b.hash[tgt]
+	if cell == 0 {
+		return 0, false
+	}
+	seq := cell - 1
+	if !b.resident(seq) {
 		return 0, false
 	}
 	e := b.slot(seq)
@@ -126,7 +151,24 @@ func (b *HistoryBuffer) Lookup(tgt isa.Addr) (uint64, bool) {
 
 // SetHash points the hash at position seq for target tgt (Figure 5 lines 8
 // and 17).
-func (b *HistoryBuffer) SetHash(tgt isa.Addr, seq uint64) { b.hash[tgt] = seq }
+func (b *HistoryBuffer) SetHash(tgt isa.Addr, seq uint64) {
+	if int(tgt) >= len(b.hash) {
+		b.growHash(tgt)
+	}
+	b.hash[tgt] = seq + 1
+}
+
+// growHash extends the target table to cover tgt, doubling so repeated
+// growth amortizes. Pre-sized buffers (EnsureAddrCap) never reach it.
+func (b *HistoryBuffer) growHash(tgt isa.Addr) {
+	n := int(tgt) + 1
+	if n < 2*len(b.hash) {
+		n = 2 * len(b.hash)
+	}
+	grown := make([]uint64, n)
+	copy(grown, b.hash)
+	b.hash = grown
+}
 
 // Last returns the position of the most recently inserted entry. It panics
 // when the buffer is empty.
@@ -170,9 +212,9 @@ func (b *HistoryBuffer) TruncateAfter(seq uint64) {
 	b.next = seq + 1
 }
 
-// Reset empties the buffer.
+// Reset empties the buffer, keeping the backing tables for reuse.
 func (b *HistoryBuffer) Reset() {
-	b.hash = make(map[isa.Addr]uint64)
+	clear(b.hash)
 	b.first = 0
 	b.next = 0
 	b.inserts = 0

@@ -35,6 +35,12 @@ type Program struct {
 	blockEnds   []isa.Addr // exclusive end of each block, indexed by block id
 	leaderOf    []int32    // addr -> index of containing block
 	entry       isa.Addr
+
+	// Lookup indexes computed once at construction: funcOf answers FuncAt
+	// in O(1) (the index of the first function containing each address, -1
+	// when none), and labelsAt inverts the label table for disassembly.
+	funcOf   []int32
+	labelsAt map[isa.Addr][]string
 }
 
 // New assembles a Program from raw instructions. The entry point is address
@@ -62,7 +68,32 @@ func New(instrs []isa.Instr, funcs []Function, labels map[string]isa.Addr) (*Pro
 	}
 	p := &Program{instrs: instrs, funcs: funcs, labels: labels}
 	p.computeBlocks()
+	p.computeIndexes()
 	return p, nil
+}
+
+// computeIndexes builds the O(1) lookup tables over functions and labels.
+func (p *Program) computeIndexes() {
+	p.funcOf = make([]int32, len(p.instrs))
+	for a := range p.funcOf {
+		p.funcOf[a] = -1
+	}
+	// First containing function wins, matching the historical linear scan
+	// when ranges overlap.
+	for i, f := range p.funcs {
+		for a := f.Entry; a < f.End && int(a) < len(p.funcOf); a++ {
+			if p.funcOf[a] < 0 {
+				p.funcOf[a] = int32(i)
+			}
+		}
+	}
+	p.labelsAt = make(map[isa.Addr][]string, len(p.labels))
+	for name, a := range p.labels {
+		p.labelsAt[a] = append(p.labelsAt[a], name)
+	}
+	for _, names := range p.labelsAt {
+		sort.Strings(names)
+	}
 }
 
 // MustNew is New, panicking on error. Intended for statically known-good
@@ -138,15 +169,22 @@ func (p *Program) InRange(addr isa.Addr) bool { return int(addr) < len(p.instrs)
 // Funcs returns the function table.
 func (p *Program) Funcs() []Function { return p.funcs }
 
-// FuncAt returns the function containing addr, if any.
+// FuncAt returns the function containing addr, if any. The lookup is a
+// single indexed load into the table built at construction.
 func (p *Program) FuncAt(addr isa.Addr) (Function, bool) {
-	for _, f := range p.funcs {
-		if f.Contains(addr) {
-			return f, true
-		}
+	if int(addr) >= len(p.funcOf) {
+		return Function{}, false
 	}
-	return Function{}, false
+	i := p.funcOf[addr]
+	if i < 0 {
+		return Function{}, false
+	}
+	return p.funcs[i], true
 }
+
+// LabelsAt returns the label names attached to addr, sorted; the returned
+// slice must not be modified.
+func (p *Program) LabelsAt(addr isa.Addr) []string { return p.labelsAt[addr] }
 
 // Label resolves a label name.
 func (p *Program) Label(name string) (isa.Addr, bool) {
@@ -318,13 +356,6 @@ func (p *Program) Disassemble(start, end isa.Addr) string {
 	if end > isa.Addr(len(p.instrs)) {
 		end = isa.Addr(len(p.instrs))
 	}
-	byAddr := map[isa.Addr][]string{}
-	for name, a := range p.labels {
-		byAddr[a] = append(byAddr[a], name)
-	}
-	for _, names := range byAddr {
-		sort.Strings(names)
-	}
 	out := ""
 	for a := start; a < end; a++ {
 		for _, f := range p.funcs {
@@ -332,7 +363,7 @@ func (p *Program) Disassemble(start, end isa.Addr) string {
 				out += fmt.Sprintf("func %s:\n", f.Name)
 			}
 		}
-		for _, name := range byAddr[a] {
+		for _, name := range p.labelsAt[a] {
 			out += fmt.Sprintf("%s:\n", name)
 		}
 		out += fmt.Sprintf("  %4d  %s\n", a, p.instrs[a])

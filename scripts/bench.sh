@@ -1,13 +1,16 @@
 #!/bin/sh
-# Runs the headline pipeline benchmark and records the result as
+# Runs the headline benchmarks and records the results as
 # BENCH_pipeline.json at the repository root.
 #
 #   scripts/bench.sh [count]
 #
-# count is the -count passed to `go test` (default 5). The JSON holds one
-# object per run with the benchmark's normalized metrics (ns per simulated
-# instruction, heap bytes per simulated instruction) plus the standard
-# ns/op, B/op, and allocs/op columns, so regressions are diffable in review.
+# count is the -count passed to `go test` (default 5). Three benchmarks are
+# recorded: BenchmarkPipeline (the full experiment matrix), BenchmarkLEI
+# (the pooled-scratch LEI selection path), and BenchmarkAnalyze (the pooled
+# metrics analyzer). The JSON holds one object per run with each
+# benchmark's normalized metrics (ns per simulated instruction, heap bytes
+# per simulated instruction, where reported) plus the standard ns/op,
+# B/op, and allocs/op columns, so regressions are diffable in review.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,10 +19,13 @@ out="BENCH_pipeline.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -bench '^BenchmarkPipeline$' -benchmem -count="$count" -run '^$' . | tee "$raw"
+go test -bench '^(BenchmarkPipeline|BenchmarkLEI|BenchmarkAnalyze)$' \
+    -benchmem -count="$count" -run '^$' . | tee "$raw"
 
 awk '
-/^BenchmarkPipeline/ {
+$1 ~ /^Benchmark(Pipeline|LEI|Analyze)(-[0-9]+)?$/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
     ns_instr = b_instr = ns_op = b_op = allocs_op = "null"
     iters = $2
     for (i = 3; i < NF; i++) {
@@ -29,14 +35,22 @@ awk '
         if ($(i + 1) == "B/op") b_op = $i
         if ($(i + 1) == "allocs/op") allocs_op = $i
     }
-    runs[++n] = sprintf("{\"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"ns_per_instr\": %s, \"bytes_per_instr\": %s}",
+    if (!(name in seen)) { order[++nb] = name; seen[name] = 1 }
+    counts[name]++
+    runs[name, counts[name]] = sprintf("{\"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"ns_per_instr\": %s, \"bytes_per_instr\": %s}",
         iters, ns_op, b_op, allocs_op, ns_instr, b_instr)
 }
 END {
-    if (n == 0) { print "bench.sh: no BenchmarkPipeline lines found" > "/dev/stderr"; exit 1 }
-    printf "{\n  \"benchmark\": \"BenchmarkPipeline\",\n  \"runs\": [\n"
-    for (i = 1; i <= n; i++) printf "    %s%s\n", runs[i], (i < n ? "," : "")
-    printf "  ]\n}\n"
+    if (nb == 0) { print "bench.sh: no benchmark lines found" > "/dev/stderr"; exit 1 }
+    printf "{\n  \"benchmarks\": {\n"
+    for (bi = 1; bi <= nb; bi++) {
+        name = order[bi]
+        printf "    \"%s\": {\n      \"runs\": [\n", name
+        for (i = 1; i <= counts[name]; i++)
+            printf "        %s%s\n", runs[name, i], (i < counts[name] ? "," : "")
+        printf "      ]\n    }%s\n", (bi < nb ? "," : "")
+    }
+    printf "  }\n}\n"
 }
 ' "$raw" > "$out"
 

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Full verification gate: tier-1 checks, the differential selector-
+# equivalence suite run twice (catching order- or state-dependent
+# divergence between the dense production selectors and their frozen
+# map-based references), and a short fuzz pass over both selector fuzz
+# targets.
+#
+#   scripts/check.sh [fuzztime]
+#
+# fuzztime is the -fuzztime for each fuzz target (default 10s; set 0 to
+# skip fuzzing).
+set -eu
+
+cd "$(dirname "$0")/.."
+fuzztime="${1:-10s}"
+
+echo "== tier-1: build, vet, test =="
+go build ./...
+go vet ./...
+go test ./...
+
+echo "== differential equivalence (x2) =="
+go test -run Diff -count=2 ./internal/difftest/
+
+if [ "$fuzztime" != "0" ]; then
+    echo "== fuzz: FuzzNETSelect ($fuzztime) =="
+    go test -run '^$' -fuzz '^FuzzNETSelect$' -fuzztime "$fuzztime" ./internal/difftest/
+    echo "== fuzz: FuzzLEISelect ($fuzztime) =="
+    go test -run '^$' -fuzz '^FuzzLEISelect$' -fuzztime "$fuzztime" ./internal/difftest/
+fi
+
+echo "check.sh: all checks passed"
