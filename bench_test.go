@@ -10,6 +10,8 @@
 package repro_test
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"testing"
@@ -21,6 +23,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/profile"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -29,7 +32,7 @@ import (
 const benchScale = 120
 
 var benchSuite = sync.OnceValues(func() (*experiments.Results, error) {
-	return experiments.RunAll(benchScale, core.DefaultParams())
+	return experiments.RunAll(context.Background(), benchScale, core.DefaultParams())
 })
 
 // figureBench reruns the full benchmark matrix per iteration and reports
@@ -41,7 +44,7 @@ func figureBench(b *testing.B, id string, report func(*experiments.Results, *tes
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunAll(benchScale, core.DefaultParams())
+		res, err := experiments.RunAll(context.Background(), benchScale, core.DefaultParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -213,7 +216,7 @@ func BenchmarkPipeline(b *testing.B) {
 	runtime.ReadMemStats(&ms0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunAll(benchScale, core.DefaultParams())
+		res, err := experiments.RunAll(context.Background(), benchScale, core.DefaultParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -222,6 +225,72 @@ func BenchmarkPipeline(b *testing.B) {
 			for _, rep := range per {
 				instrs += rep.TotalInstrs
 			}
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(instrs*uint64(b.N)), "ns/instr")
+	b.ReportMetric(float64(ms1.TotalAlloc-ms0.TotalAlloc)/float64(instrs*uint64(b.N)), "B/instr")
+}
+
+// BenchmarkSweep measures the sharded sweep engine over the paper's full
+// 12×4 grid at increasing shard counts. With per-shard pooled scratch and
+// work stealing the jobs/s metric should scale near-linearly until the
+// grid's longest-running cells dominate.
+func BenchmarkSweep(b *testing.B) {
+	grid := sweep.Grid{
+		Workloads: workloads.SpecNames(),
+		Scale:     benchScale,
+		Selectors: sweep.PaperSelectors(),
+	}
+	jobs := grid.Jobs()
+	shardCounts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		shardCounts = append(shardCounts, n)
+	}
+	for _, shards := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var sink sweep.CountingSink
+				if err := sweep.Run(context.Background(), jobs, sweep.Options{Shards: shards}, &sink); err != nil {
+					b.Fatal(err)
+				}
+				if sink.N != len(jobs) {
+					b.Fatalf("delivered %d of %d jobs", sink.N, len(jobs))
+				}
+			}
+			b.ReportMetric(float64(len(jobs)*b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkPipelineLarge measures end-to-end simulation throughput on the
+// large synthetic stress program (hundreds of thousands of dynamic
+// instructions over a static footprint that exercises the dense
+// per-address tables) under all four paper selectors on one pooled shard.
+// Its ns/instr should stay within 2× of BenchmarkPipeline's micro-suite
+// figure.
+func BenchmarkPipelineLarge(b *testing.B) {
+	const largeScale = 400_000
+	prog := workloads.MustGet("synthetic").Build(largeScale)
+	shard := sweep.NewShard()
+	var ms0, ms1 runtime.MemStats
+	var instrs uint64
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		instrs = 0
+		for _, sel := range sweep.PaperSelectors() {
+			rep, err := shard.Run(prog, sweep.Job{
+				Workload: "synthetic",
+				Scale:    largeScale,
+				Selector: sel,
+				Params:   core.DefaultParams(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			instrs += rep.TotalInstrs
 		}
 	}
 	b.StopTimer()

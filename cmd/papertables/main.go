@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -60,7 +61,7 @@ func main() {
 	if needShared {
 		fmt.Fprintf(os.Stderr, "running 12 benchmarks x 4 selectors (scale=%d)...\n", *scale)
 		var err error
-		res, err = experiments.RunAll(*scale, experiments.DefaultParams())
+		res, err = experiments.RunAll(context.Background(), *scale, experiments.DefaultParams())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "papertables:", err)
 			os.Exit(1)

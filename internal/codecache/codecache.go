@@ -176,14 +176,25 @@ func (r *Region) Advance(cur int, next isa.Addr, taken bool) (nextIdx int, stay,
 	}
 }
 
+// entryCell is one slot of the dense entry table. A cell names a live
+// region only when its epoch matches the cache's current epoch, so Reset
+// invalidates the whole table by bumping the epoch instead of rewriting it.
+type entryCell struct {
+	id    int32
+	epoch uint32
+}
+
 // Cache is the simulated code cache.
 type Cache struct {
 	prog    *program.Program
 	regions []*Region
 	// entries maps a region entry address to its live region ID. It is a
-	// dense slice indexed by instruction address (noEntry when absent) so
-	// the per-block Lookup/HasEntry hot path never hashes.
-	entries []ID
+	// dense slice indexed by instruction address so the per-block
+	// Lookup/HasEntry hot path never hashes; a cell is valid only when its
+	// epoch matches the cache's, which makes Reset O(1) over the table
+	// (epoch-based clearing, no reallocation).
+	entries []entryCell
+	epoch   uint32
 	seq     uint64
 
 	// Cumulative counters. Evicted regions keep contributing: code
@@ -200,27 +211,67 @@ type Cache struct {
 	nextAddr   int // next free cache byte offset
 
 	evicted []*Region
-}
 
-// noEntry marks an address that is not a cached region entry.
-const noEntry = ID(-1)
+	// free holds recycled regions from previous runs of a pooled cache;
+	// Insert draws from it before allocating, so a resettable cache reaches
+	// zero steady-state allocations per promotion even under eviction-heavy
+	// bounded configurations.
+	free []*Region
+	// seen is validate's duplicate-block scratch, reused across insertions.
+	seen map[isa.Addr]bool
+}
 
 // New returns an empty, unbounded cache for the program.
 func New(p *program.Program) *Cache {
-	entries := make([]ID, p.Len())
-	for i := range entries {
-		entries[i] = noEntry
-	}
-	return &Cache{prog: p, entries: entries}
+	c := &Cache{}
+	c.Reset(p, 0)
+	return c
 }
 
 // NewBounded returns a cache that flushes completely whenever the estimated
 // occupancy would exceed limitBytes (the preemptive-flush policy studied by
 // Hazelwood; an extension beyond the paper's unbounded setup).
 func NewBounded(p *program.Program, limitBytes int) *Cache {
-	c := New(p)
-	c.limitBytes = limitBytes
+	c := &Cache{}
+	c.Reset(p, limitBytes)
 	return c
+}
+
+// Reset re-targets the cache to a (possibly different) program and cache
+// bound, recycling every region ever selected into the free list and
+// invalidating the dense entry table by epoch bump — no table rewrite, no
+// reallocation. Pooled harness workers call it between back-to-back runs;
+// *Region pointers and Snapshot results from the previous run become
+// invalid (their backing objects will be reused by future insertions).
+func (c *Cache) Reset(p *program.Program, limitBytes int) {
+	c.free = append(c.free, c.regions...)
+	c.free = append(c.free, c.evicted...)
+	c.regions = c.regions[:0]
+	c.evicted = c.evicted[:0]
+	c.prog = p
+	if n := p.Len(); n > len(c.entries) {
+		if n <= cap(c.entries) {
+			c.entries = c.entries[:n]
+		} else {
+			grown := make([]entryCell, n)
+			copy(grown, c.entries)
+			c.entries = grown
+		}
+	} else {
+		c.entries = c.entries[:p.Len()]
+	}
+	c.epoch++
+	if c.epoch == 0 {
+		// Epoch wraparound: stale cells from 2^32 resets ago could read as
+		// current. Clear once and restart at 1 (cell epoch 0 means never set).
+		clear(c.entries)
+		c.epoch = 1
+	}
+	c.seq = 0
+	c.totalInstrs, c.totalStubs, c.totalCodeBytes = 0, 0, 0
+	c.flushes = 0
+	c.limitBytes = limitBytes
+	c.liveBytes, c.nextAddr = 0, 0
 }
 
 // Lookup returns the region whose entry is addr.
@@ -228,16 +279,16 @@ func (c *Cache) Lookup(addr isa.Addr) (*Region, bool) {
 	if int(addr) >= len(c.entries) {
 		return nil, false
 	}
-	id := c.entries[addr]
-	if id == noEntry {
+	cell := c.entries[addr]
+	if cell.epoch != c.epoch {
 		return nil, false
 	}
-	return c.regions[id], true
+	return c.regions[cell.id], true
 }
 
 // HasEntry reports whether addr begins a cached region.
 func (c *Cache) HasEntry(addr isa.Addr) bool {
-	return int(addr) < len(c.entries) && c.entries[addr] != noEntry
+	return int(addr) < len(c.entries) && c.entries[addr].epoch == c.epoch
 }
 
 // ContainsInstr reports whether the instruction at addr has been copied
@@ -254,6 +305,26 @@ func (c *Cache) ContainsInstr(addr isa.Addr) bool {
 	return false
 }
 
+// newRegion returns a zeroed region, recycled from the free list when one
+// is available (the blocks, adjacency, offset tables, and index map keep
+// their backing storage, so steady-state insertion on a pooled cache does
+// not allocate).
+func (c *Cache) newRegion() *Region {
+	if n := len(c.free); n > 0 {
+		r := c.free[n-1]
+		c.free = c.free[:n-1]
+		blocks := r.Blocks[:0]
+		succs := r.Succs[:0] // inner []int headers stay live in the backing array
+		offs := r.blockByteOff[:0]
+		bytes := r.blockBytes[:0]
+		byStart := r.byStart
+		clear(byStart)
+		*r = Region{Blocks: blocks, Succs: succs, blockByteOff: offs, blockBytes: bytes, byStart: byStart}
+		return r
+	}
+	return &Region{byStart: make(map[isa.Addr]int)}
+}
+
 // Insert validates spec, computes its stub and size accounting, installs it,
 // and returns the new region. Inserting a region whose entry is already
 // cached is an error: the caller should have looked it up first.
@@ -261,14 +332,12 @@ func (c *Cache) Insert(spec Spec) (*Region, error) {
 	if err := c.validate(spec); err != nil {
 		return nil, err
 	}
-	r := &Region{
-		Kind:        spec.Kind,
-		Entry:       spec.Entry,
-		Blocks:      append([]BlockSpec(nil), spec.Blocks...),
-		Cyclic:      spec.Cyclic,
-		SelectedSeq: c.seq,
-		byStart:     make(map[isa.Addr]int, len(spec.Blocks)),
-	}
+	r := c.newRegion()
+	r.Kind = spec.Kind
+	r.Entry = spec.Entry
+	r.Blocks = append(r.Blocks, spec.Blocks...)
+	r.Cyclic = spec.Cyclic
+	r.SelectedSeq = c.seq
 	c.seq++
 	for i, b := range r.Blocks {
 		r.byStart[b.Start] = i
@@ -278,7 +347,7 @@ func (c *Cache) Insert(spec Spec) (*Region, error) {
 		r.blockBytes = append(r.blockBytes, bb)
 		r.CodeBytes += bb
 	}
-	r.Succs = c.buildSuccs(spec)
+	c.fillSuccs(r, spec)
 	if spec.Kind == KindMultipath {
 		r.Cyclic = false
 		for _, ss := range r.Succs {
@@ -300,7 +369,7 @@ func (c *Cache) Insert(spec Spec) (*Region, error) {
 	r.CacheAddr = c.nextAddr
 	c.nextAddr += r.EstimatedBytes()
 	c.regions = append(c.regions, r)
-	c.entries[r.Entry] = r.ID
+	c.entries[r.Entry] = entryCell{id: int32(r.ID), epoch: c.epoch}
 	c.totalInstrs += r.Instrs
 	c.totalStubs += r.Stubs
 	c.totalCodeBytes += r.CodeBytes
@@ -318,7 +387,11 @@ func (c *Cache) validate(spec Spec) error {
 	if c.HasEntry(spec.Entry) {
 		return fmt.Errorf("codecache: region with entry %d already cached", spec.Entry)
 	}
-	seen := make(map[isa.Addr]bool, len(spec.Blocks))
+	if c.seen == nil {
+		c.seen = make(map[isa.Addr]bool, len(spec.Blocks))
+	} else {
+		clear(c.seen)
+	}
 	for _, b := range spec.Blocks {
 		if !c.prog.IsBlockStart(b.Start) {
 			return fmt.Errorf("codecache: block %d is not a program block leader", b.Start)
@@ -326,10 +399,10 @@ func (c *Cache) validate(spec Spec) error {
 		if got := c.prog.BlockLen(b.Start); got != b.Len {
 			return fmt.Errorf("codecache: block %d has length %d, program says %d", b.Start, b.Len, got)
 		}
-		if seen[b.Start] {
+		if c.seen[b.Start] {
 			return fmt.Errorf("codecache: duplicate block %d in region", b.Start)
 		}
-		seen[b.Start] = true
+		c.seen[b.Start] = true
 	}
 	if spec.Kind == KindMultipath {
 		if len(spec.Succs) != len(spec.Blocks) {
@@ -346,25 +419,34 @@ func (c *Cache) validate(spec Spec) error {
 	return nil
 }
 
-// buildSuccs returns the in-region adjacency. For traces it materializes
-// the chain (and cycle edge) so that analyses can treat both kinds alike.
-func (c *Cache) buildSuccs(spec Spec) [][]int {
+// fillSuccs fills r.Succs in place with the in-region adjacency. For traces
+// it materializes the chain (and cycle edge) so that analyses can treat both
+// kinds alike. The outer slice and the recycled inner []int headers are
+// reused within capacity, so a pooled cache fills adjacency without
+// allocating in steady state.
+func (c *Cache) fillSuccs(r *Region, spec Spec) {
+	n := len(r.Blocks)
+	if cap(r.Succs) >= n {
+		r.Succs = r.Succs[:n]
+	} else {
+		r.Succs = append(r.Succs[:cap(r.Succs)], make([][]int, n-cap(r.Succs))...)
+	}
+	for i := range r.Succs {
+		r.Succs[i] = r.Succs[i][:0]
+	}
 	if spec.Kind == KindMultipath {
-		out := make([][]int, len(spec.Succs))
 		for i, ss := range spec.Succs {
-			out[i] = append([]int(nil), ss...)
+			r.Succs[i] = append(r.Succs[i], ss...)
 		}
-		return out
+		return
 	}
-	out := make([][]int, len(spec.Blocks))
-	for i := range spec.Blocks {
-		if i+1 < len(spec.Blocks) {
-			out[i] = []int{i + 1}
+	for i := 0; i < n; i++ {
+		if i+1 < n {
+			r.Succs[i] = append(r.Succs[i], i+1)
 		} else if spec.Cyclic {
-			out[i] = []int{0}
+			r.Succs[i] = append(r.Succs[i], 0)
 		}
 	}
-	return out
 }
 
 // InternalEdge reports whether the direction from block i to the block
@@ -418,7 +500,8 @@ func (c *Cache) flush() {
 	c.flushes++
 	c.evicted = append(c.evicted, c.regions...)
 	for _, r := range c.regions {
-		c.entries[r.Entry] = noEntry
+		// Epoch 0 never matches the current epoch (it is always >= 1).
+		c.entries[r.Entry] = entryCell{}
 	}
 	c.regions = c.regions[:0]
 	c.liveBytes = 0

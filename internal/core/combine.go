@@ -49,9 +49,11 @@ type Combiner struct {
 	recording map[isa.Addr]*tailRecorder
 	order     []isa.Addr
 	combining map[isa.Addr]bool
+	pool      recorderPool
 
 	// LEI base.
-	buf *profile.HistoryBuffer
+	buf     *profile.HistoryBuffer
+	scratch leiScratch
 }
 
 // NewCombiner returns a trace-combination selector over the base algorithm.
@@ -139,7 +141,7 @@ func (c *Combiner) qualifyNET(env Env, ev Event) {
 	n := c.counters.Incr(tgt)
 	if n > c.tStart {
 		if _, active := c.recording[tgt]; !active {
-			c.recording[tgt] = newTailRecorder(env.Program(), tgt, c.params.MaxTraceInstrs, c.params.MaxTraceBlocks)
+			c.recording[tgt] = c.pool.get(env.Program(), tgt, c.params.MaxTraceInstrs, c.params.MaxTraceBlocks)
 			c.order = append(c.order, tgt)
 		}
 	}
@@ -168,6 +170,7 @@ func (c *Combiner) feedRecorders(env Env, ev Event) {
 		}
 		delete(c.recording, head)
 		c.store(head, encodeTrace(r.branches, r.lastAddr))
+		c.pool.put(r) // encodeTrace copied the outcomes; the recorder is free
 		if c.combining[head] {
 			c.finalize(env, head)
 		}
@@ -201,7 +204,7 @@ func (c *Combiner) observeLEI(env Env, src, tgt isa.Addr, kind profile.EntryKind
 	if n <= c.tStart {
 		return
 	}
-	if spec, outcomes, formed := formLEITrace(env.Program(), env.Cache(), c.buf, tgt, old, c.params); formed {
+	if spec, outcomes, formed := formLEITrace(env.Program(), env.Cache(), c.buf, tgt, old, c.params, &c.scratch); formed {
 		lastBlock := spec.Blocks[len(spec.Blocks)-1]
 		lastAddr := lastBlock.Start + isa.Addr(lastBlock.Len) - 1
 		c.store(tgt, encodeTrace(outcomes, lastAddr))
@@ -271,6 +274,36 @@ func (c *Combiner) finalize(env Env, head isa.Addr) {
 	if _, err := env.Insert(spec); err != nil {
 		env.Fail(errors.Join(errors.New("combiner: inserting region"), err))
 	}
+}
+
+// Reset implements Resettable: it re-arms the selector for a fresh run with
+// new parameters, recycling in-flight recorders and keeping the counter
+// table, the history buffer (reallocated only when HistoryCap changes), the
+// trace-formation scratch, and the map buckets.
+func (c *Combiner) Reset(params Params) {
+	params = params.withDefaults()
+	c.params = params
+	switch c.base {
+	case BaseNET:
+		c.tStart = params.NETThreshold - params.TProf
+	case BaseLEI:
+		c.tStart = params.LEIThreshold - params.TProf
+		c.buf.Resize(params.HistoryCap)
+	}
+	if c.tStart < 1 {
+		c.tStart = 1
+	}
+	c.counters.Reset()
+	clear(c.observed)
+	for _, r := range c.recording {
+		c.pool.put(r)
+	}
+	clear(c.recording)
+	clear(c.combining)
+	c.order = c.order[:0]
+	c.curBytes, c.highBytes = 0, 0
+	c.nObserved = 0
+	c.iterations = [3]uint64{}
 }
 
 // Stats implements Selector.

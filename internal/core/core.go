@@ -95,6 +95,16 @@ type Selector interface {
 	Stats() ProfileStats
 }
 
+// Resettable is implemented by selectors that can be re-armed for a fresh
+// run under (possibly different) parameters while keeping their allocated
+// profiling state — counter tables, history buffers, recorder free-lists —
+// for reuse. The sweep engine pools resettable selectors per shard, so a
+// steady-state sweep job spends no allocations on selector construction.
+// Selectors that are not Resettable are simply rebuilt per run.
+type Resettable interface {
+	Reset(params Params)
+}
+
 // Preallocator is implemented by selectors whose dense, address-indexed
 // profiling tables can be sized up front. The simulator calls it once at run
 // start with the program's address-space size (program length plus one, so

@@ -29,6 +29,7 @@ type LEI struct {
 	params   Params
 	buf      *profile.HistoryBuffer
 	counters *profile.CounterPool
+	scratch  leiScratch
 }
 
 // NewLEI returns an LEI selector with the given parameters.
@@ -50,6 +51,15 @@ func (l *LEI) Name() string { return "lei" }
 func (l *LEI) Preallocate(addrSpace int) {
 	l.counters.EnsureCap(addrSpace)
 	l.buf.EnsureAddrCap(addrSpace)
+}
+
+// Reset implements Resettable: it re-arms the selector for a fresh run with
+// new parameters, keeping the counter table, the history buffer (reallocated
+// only when HistoryCap changes), and the trace-formation scratch.
+func (l *LEI) Reset(params Params) {
+	l.params = params.withDefaults()
+	l.buf.Resize(l.params.HistoryCap)
+	l.counters.Reset()
 }
 
 // Transfer implements Selector. This is INTERPRETED-BRANCH-TAKEN of
@@ -84,7 +94,7 @@ func (l *LEI) observe(env Env, src, tgt isa.Addr, kind profile.EntryKind) {
 	if l.counters.Incr(tgt) < l.params.LEIThreshold {
 		return
 	}
-	spec, _, formed := formLEITrace(env.Program(), env.Cache(), l.buf, tgt, old, l.params)
+	spec, _, formed := formLEITrace(env.Program(), env.Cache(), l.buf, tgt, old, l.params, &l.scratch)
 	l.buf.TruncateAfter(old)
 	l.counters.Release(tgt)
 	if !formed {
@@ -140,17 +150,52 @@ func (l *LEI) Stats() ProfileStats {
 // entered the code cache terminate: the enter transfer's target is a cached
 // entry). The trace is cyclic when it ends with the branch back to start.
 func FormLEITrace(p *program.Program, cache *codecache.Cache, buf *profile.HistoryBuffer, start isa.Addr, old uint64, params Params) (codecache.Spec, bool) {
-	spec, _, formed := formLEITrace(p, cache, buf, start, old, params)
+	spec, _, formed := formLEITrace(p, cache, buf, start, old, params, nil)
 	return spec, formed
+}
+
+// leiScratch is the reusable working state of formLEITrace: the block and
+// outcome accumulators, the dense membership table with its touched-address
+// list (cleared by walking the touches, not the table), and the history
+// snapshot slice. Pooled selectors keep one per instance so steady-state
+// trace formation does not allocate.
+type leiScratch struct {
+	blocks   []codecache.BlockSpec
+	outcomes []obsBranch
+	inTrace  []bool
+	touched  []isa.Addr
+	hist     []profile.HistoryEntry
+}
+
+// begin readies the scratch for a new formation over an address space of
+// size addrSpace.
+func (sc *leiScratch) begin(addrSpace int) {
+	sc.blocks = sc.blocks[:0]
+	sc.outcomes = sc.outcomes[:0]
+	sc.hist = sc.hist[:0]
+	if len(sc.inTrace) < addrSpace {
+		sc.inTrace = make([]bool, addrSpace)
+		sc.touched = sc.touched[:0]
+		return
+	}
+	for _, a := range sc.touched {
+		sc.inTrace[a] = false
+	}
+	sc.touched = sc.touched[:0]
 }
 
 // formLEITrace is FormLEITrace, additionally returning the branch outcomes
 // along the path so that combined LEI can store the observed trace in the
-// compact encoding of Figure 14.
-func formLEITrace(p *program.Program, cache *codecache.Cache, buf *profile.HistoryBuffer, start isa.Addr, old uint64, params Params) (spec codecache.Spec, outcomes []obsBranch, formed bool) {
+// compact encoding of Figure 14. When sc is non-nil its storage is reused;
+// the returned spec.Blocks and outcomes then alias the scratch and are valid
+// only until the next formation (codecache.Insert and encodeTrace both copy,
+// so the selector flows consume them in time).
+func formLEITrace(p *program.Program, cache *codecache.Cache, buf *profile.HistoryBuffer, start isa.Addr, old uint64, params Params, sc *leiScratch) (spec codecache.Spec, outcomes []obsBranch, formed bool) {
 	params = params.withDefaults()
-	var blocks []codecache.BlockSpec
-	inTrace := make(map[isa.Addr]bool)
+	if sc == nil {
+		sc = &leiScratch{}
+	}
+	sc.begin(p.Len() + 1)
 	instrs := 0
 	cyclic := false
 
@@ -163,15 +208,16 @@ func formLEITrace(p *program.Program, cache *codecache.Cache, buf *profile.Histo
 			if cache.HasEntry(b) {
 				return false // next instruction begins an existing trace
 			}
-			if inTrace[b] {
+			if sc.inTrace[b] {
 				return false // would duplicate a block already selected
 			}
 			n := p.BlockLen(b)
-			if instrs+n > params.MaxTraceInstrs || len(blocks) >= params.MaxTraceBlocks {
+			if instrs+n > params.MaxTraceInstrs || len(sc.blocks) >= params.MaxTraceBlocks {
 				return false
 			}
-			blocks = append(blocks, codecache.BlockSpec{Start: b, Len: n})
-			inTrace[b] = true
+			sc.blocks = append(sc.blocks, codecache.BlockSpec{Start: b, Len: n})
+			sc.inTrace[b] = true
+			sc.touched = append(sc.touched, b)
 			instrs += n
 			end := b + isa.Addr(n)
 			if end-1 == branchSrc {
@@ -195,42 +241,43 @@ func formLEITrace(p *program.Program, cache *codecache.Cache, buf *profile.Histo
 				return false
 			}
 			if lastIn.IsConditional() {
-				outcomes = append(outcomes, obsBranch{addr: end - 1, taken: false})
+				sc.outcomes = append(sc.outcomes, obsBranch{addr: end - 1, taken: false})
 			}
 			b = end
 		}
 	}
 
 	prev := start
-	for _, br := range buf.After(old) {
+	sc.hist = buf.AppendAfter(old, sc.hist)
+	for _, br := range sc.hist {
 		if !appendRun(prev, br.Src) {
 			break
 		}
 		in := p.At(br.Src)
-		outcomes = append(outcomes, obsBranch{
+		sc.outcomes = append(sc.outcomes, obsBranch{
 			addr:     br.Src,
 			taken:    true,
 			indirect: in.IsIndirect(),
 			target:   br.Tgt,
 		})
-		if inTrace[br.Tgt] {
+		if sc.inTrace[br.Tgt] {
 			cyclic = br.Tgt == start
 			break
 		}
 		prev = br.Tgt
 	}
-	if len(blocks) == 0 {
+	if len(sc.blocks) == 0 {
 		return codecache.Spec{}, nil, false
 	}
-	if blocks[0].Start != start {
+	if sc.blocks[0].Start != start {
 		// Defensive: cannot happen, the first run starts at start.
-		panic(fmt.Sprintf("core: LEI trace head %d != start %d", blocks[0].Start, start))
+		panic(fmt.Sprintf("core: LEI trace head %d != start %d", sc.blocks[0].Start, start))
 	}
 	spec = codecache.Spec{
 		Entry:  start,
 		Kind:   codecache.KindTrace,
-		Blocks: blocks,
+		Blocks: sc.blocks,
 		Cyclic: cyclic,
 	}
-	return spec, outcomes, true
+	return spec, sc.outcomes, true
 }

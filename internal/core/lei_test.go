@@ -88,7 +88,7 @@ func TestFormLEITraceInterproceduralCycle(t *testing.T) {
 	buf.Insert(4, 7, profile.KindInterp) // call -> f
 	buf.Insert(8, 5, profile.KindInterp) // ret -> C
 	buf.Insert(6, 1, profile.KindInterp) // jmp -> A (completes the cycle)
-	spec, outcomes, formed := formLEITrace(p, env.cache, buf, 1, old, DefaultParams())
+	spec, outcomes, formed := formLEITrace(p, env.cache, buf, 1, old, DefaultParams(), nil)
 	if !formed {
 		t.Fatal("trace not formed")
 	}
@@ -132,7 +132,7 @@ func TestFormLEITraceStopsAtCachedRegion(t *testing.T) {
 	buf.Insert(4, 7, profile.KindInterp)
 	buf.Insert(8, 5, profile.KindInterp)
 	buf.Insert(6, 1, profile.KindInterp)
-	spec, _, formed := formLEITrace(p, env.cache, buf, 1, old, DefaultParams())
+	spec, _, formed := formLEITrace(p, env.cache, buf, 1, old, DefaultParams(), nil)
 	if !formed {
 		t.Fatal("trace not formed")
 	}
@@ -161,7 +161,7 @@ func TestFormLEITraceWithCacheEpisode(t *testing.T) {
 	buf.Insert(4, 7, profile.KindEnter) // call enters the cached f
 	buf.Insert(8, 5, profile.KindExit)  // f's return exits the cache to C
 	buf.Insert(6, 1, profile.KindInterp)
-	spec, _, formed := formLEITrace(p, env.cache, buf, 1, old, DefaultParams())
+	spec, _, formed := formLEITrace(p, env.cache, buf, 1, old, DefaultParams(), nil)
 	if !formed {
 		t.Fatal("trace not formed")
 	}
@@ -189,7 +189,7 @@ func TestFormLEITraceExitGrownHead(t *testing.T) {
 	buf.Insert(8, 5, profile.KindInterp)      // return to C
 	buf.Insert(6, 1, profile.KindEnter)       // C jumps to cached A
 	buf.Insert(2, 3, profile.KindExit)        // A's trace exits to B again
-	spec, _, formed := formLEITrace(p, env.cache, buf, 3, old, DefaultParams())
+	spec, _, formed := formLEITrace(p, env.cache, buf, 3, old, DefaultParams(), nil)
 	if !formed {
 		t.Fatal("trace not formed")
 	}
@@ -221,7 +221,7 @@ func TestFormLEITraceEmptyWhenHeadUnreachable(t *testing.T) {
 	buf := profile.NewHistoryBuffer(32)
 	old := buf.Insert(6, 1, profile.KindInterp)
 	buf.Insert(6, 1, profile.KindInterp)
-	if _, _, formed := formLEITrace(p, env.cache, buf, 1, old, DefaultParams()); formed {
+	if _, _, formed := formLEITrace(p, env.cache, buf, 1, old, DefaultParams(), nil); formed {
 		t.Error("trace formed from a cached head")
 	}
 }

@@ -34,6 +34,8 @@ type NET struct {
 	exitThreshold int
 	exitTargets   []bool // dense address-indexed; nil unless the Mojo variant
 	mojo          bool
+
+	pool recorderPool
 }
 
 // NewNET returns a NET selector with the given parameters.
@@ -154,7 +156,7 @@ func (n *NET) bump(env Env, tgt isa.Addr) {
 	if n.mojo {
 		n.setExitTarget(tgt, false)
 	}
-	rec := newTailRecorder(env.Program(), tgt, n.params.MaxTraceInstrs, n.params.MaxTraceBlocks)
+	rec := n.pool.get(env.Program(), tgt, n.params.MaxTraceInstrs, n.params.MaxTraceBlocks)
 	rec.crossBackward = n.params.AblateNETBackwardStop
 	n.setRecorder(tgt, rec)
 	n.nRecording++
@@ -177,8 +179,28 @@ func (n *NET) feedRecorders(env Env, ev Event) {
 		n.recording[head] = nil
 		n.nRecording--
 		n.insert(env, r.spec())
+		n.pool.put(r) // Insert copied the blocks; the recorder is free
 	}
 	n.order = kept
+}
+
+// Reset implements Resettable: it re-arms the selector for a fresh run with
+// new parameters, recycling in-flight recorders and keeping every allocated
+// table (counters, dense recording slice, exit-target bits).
+func (n *NET) Reset(params Params) {
+	n.params = params.withDefaults()
+	n.counters.Reset()
+	for _, head := range n.order {
+		if r := n.recording[head]; r != nil {
+			n.recording[head] = nil
+			n.pool.put(r)
+		}
+	}
+	n.order = n.order[:0]
+	n.nRecording = 0
+	if n.mojo {
+		clear(n.exitTargets)
+	}
 }
 
 func (n *NET) insert(env Env, spec codecache.Spec) {

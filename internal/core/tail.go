@@ -50,6 +50,37 @@ func newTailRecorder(p *program.Program, head isa.Addr, maxInstrs, maxBlocks int
 	return r
 }
 
+// reset re-arms a recycled recorder for a new head, keeping the blocks and
+// branches backing arrays.
+func (r *tailRecorder) reset(p *program.Program, head isa.Addr, maxInstrs, maxBlocks int) {
+	blocks := r.blocks[:0]
+	branches := r.branches[:0]
+	*r = tailRecorder{head: head, prog: p, maxInstrs: maxInstrs, maxBlocks: maxBlocks, blocks: blocks, branches: branches}
+	r.appendBlock(head)
+}
+
+// recorderPool recycles tail recorders so that steady-state trace selection
+// under pooled selectors stops allocating per promotion. Recorders are safe
+// to recycle as soon as their spec or branch outcomes have been consumed:
+// codecache.Insert copies Blocks and encodeTrace copies outcomes.
+type recorderPool struct {
+	free []*tailRecorder
+}
+
+func (p *recorderPool) get(prog *program.Program, head isa.Addr, maxInstrs, maxBlocks int) *tailRecorder {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free = p.free[:n-1]
+		r.reset(prog, head, maxInstrs, maxBlocks)
+		return r
+	}
+	return newTailRecorder(prog, head, maxInstrs, maxBlocks)
+}
+
+func (p *recorderPool) put(r *tailRecorder) {
+	p.free = append(p.free, r)
+}
+
 func (r *tailRecorder) appendBlock(start isa.Addr) {
 	n := r.prog.BlockLen(start)
 	r.blocks = append(r.blocks, codecache.BlockSpec{Start: start, Len: n})

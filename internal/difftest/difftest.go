@@ -6,6 +6,7 @@ import (
 	"repro/internal/codecache"
 	"repro/internal/core"
 	"repro/internal/dynopt"
+	"repro/internal/isa"
 	"repro/internal/program"
 )
 
@@ -80,11 +81,15 @@ func compareRegion(a, b *codecache.Region) error {
 }
 
 // streamEnv is a minimal core.Env for driving a selector from a synthetic
-// branch stream (no interpreter behind it), used by the fuzz targets.
+// branch stream (no interpreter behind it), used by the fuzz targets. Like
+// the real simulator it tracks cache residency: while region is non-nil the
+// stream walks cached blocks and the selector sees no Transfer events.
 type streamEnv struct {
-	prog  *program.Program
-	cache *codecache.Cache
-	errs  []error
+	prog     *program.Program
+	cache    *codecache.Cache
+	errs     []error
+	region   *codecache.Region
+	blockIdx int
 }
 
 func newStreamEnv(p *program.Program) *streamEnv {
@@ -100,14 +105,24 @@ func (e *streamEnv) Fail(err error) { e.errs = append(e.errs, err) }
 
 // FeedStream decodes data into a branch-event stream shaped like what the
 // simulator emits — targets are block leaders, sources are block-end
-// instructions — and feeds it to sel through its own environment. ToCache is
-// derived from the environment's own cache, and CacheExit events are
-// delivered only when the target is not a cached entry, preserving the
-// simulator's invariants. It returns the environment for inspection.
+// instructions — and feeds it to sel through its own environment, preserving
+// the simulator's invariants. ToCache is derived from the environment's own
+// cache, and a taken transfer resolving to a cached region entry moves the
+// stream into a cache-resident phase: subsequent records steer execution
+// through the region's member blocks (trace chain, cycle branches back to
+// the entry, region-to-region transitions) without any selector events,
+// until a side exit to a non-cached target delivers the CacheExit the
+// selector would see from the real simulator. Streams may truncate
+// mid-residency, exactly as a program halting inside the cache would. It
+// returns the environment for inspection.
 func FeedStream(p *program.Program, sel core.Selector, data []byte) *streamEnv {
 	env := newStreamEnv(p)
 	leaders := p.BlockStarts()
 	for i := 0; i+3 <= len(data); i += 3 {
+		if env.region != nil {
+			env.stepRegion(sel, leaders, data[i], data[i+2])
+			continue
+		}
 		tgt := leaders[int(data[i])%len(leaders)]
 		srcBlock := leaders[int(data[i+1])%len(leaders)]
 		src := p.BlockEnd(srcBlock) - 1
@@ -126,8 +141,55 @@ func FeedStream(p *program.Program, sel core.Selector, data []byte) *streamEnv {
 			ToCache: env.cache.HasEntry(tgt),
 		}
 		sel.Transfer(env, ev)
+		if ev.Taken {
+			// Enter the cache when the target is (or has just become) a
+			// cached entry — checked after the selector ran, like the
+			// simulator does.
+			if r, ok := env.cache.Lookup(tgt); ok {
+				env.region, env.blockIdx = r, 0
+			}
+		}
 	}
 	return env
+}
+
+// stepRegion advances one cache-resident step: sel and tgtByte steer the
+// walk, and the selector only hears about it if the step exits the cache.
+func (e *streamEnv) stepRegion(sel core.Selector, leaders []isa.Addr, tgtByte, ctl byte) {
+	r := e.region
+	cur := r.Blocks[e.blockIdx]
+	src := cur.Start + isa.Addr(cur.Len) - 1
+	var tgt isa.Addr
+	taken := true
+	switch ctl % 4 {
+	case 0, 1:
+		// Follow the region: the next member block, or — at the tail of a
+		// trace — the cycle branch back to the entry.
+		if e.blockIdx+1 < len(r.Blocks) {
+			tgt, taken = r.Blocks[e.blockIdx+1].Start, ctl&1 != 0
+		} else {
+			tgt = r.Entry
+		}
+	case 2:
+		// Cycle branch back to the region entry.
+		tgt = r.Entry
+	default:
+		// Side exit toward an arbitrary block leader; targets that happen to
+		// be member blocks stay internal, cached entries become
+		// region-to-region transitions, anything else exits to the
+		// interpreter.
+		tgt = leaders[int(tgtByte)%len(leaders)]
+	}
+	if nextIdx, stay, _ := r.Advance(e.blockIdx, tgt, taken); stay {
+		e.blockIdx = nextIdx
+		return
+	}
+	if r2, ok := e.cache.Lookup(tgt); ok {
+		e.region, e.blockIdx = r2, 0
+		return
+	}
+	e.region = nil
+	sel.CacheExit(e, src, tgt)
 }
 
 // CompareStreams feeds the same synthetic stream to a dense selector and its

@@ -58,6 +58,41 @@ func FuzzNETSelect(f *testing.F) {
 	})
 }
 
+// FuzzCombinedSelect drives both trace-combination selectors through
+// arbitrary streams — including the cache-resident phases FeedStream
+// emulates once combined regions land, which exercise the Combiner's
+// observed-trace storage and cache-exit qualification paths — and
+// cross-checks a pooled, Reset selector against a freshly constructed one:
+// after polluting a Combiner with a different program, parameter point, and
+// stream, Reset must make it behave bit-identically to new.
+func FuzzCombinedSelect(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, progSeed uint8, data []byte) {
+		p := fuzzProgram(progSeed)
+		params := RandomParams(int64(progSeed))
+		for _, base := range []core.BaseAlgorithm{core.BaseNET, core.BaseLEI} {
+			fresh := core.NewCombiner(base, params)
+			fenv := FeedStream(p, fresh, data)
+
+			pooled := core.NewCombiner(base, RandomParams(int64(progSeed)+3))
+			FeedStream(fuzzProgram(progSeed+1), pooled, data)
+			pooled.Reset(params)
+			penv := FeedStream(p, pooled, data)
+
+			name := map[core.BaseAlgorithm]string{core.BaseNET: "net+comb", core.BaseLEI: "lei+comb"}[base]
+			if len(fenv.errs) != len(penv.errs) {
+				t.Fatalf("%s: selector error divergence: fresh=%v pooled=%v", name, fenv.errs, penv.errs)
+			}
+			if fs, ps := fresh.Stats(), pooled.Stats(); fs != ps {
+				t.Fatalf("%s: stats divergence after Reset: fresh=%+v pooled=%+v", name, fs, ps)
+			}
+			if err := CompareCaches(fenv.cache, penv.cache); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	})
+}
+
 // FuzzLEISelect cross-checks the dense LEI selector (dense-hash history
 // buffer, pre-sizable counter pool) against the frozen map-based reference
 // on arbitrary branch streams, including streams that thrash a tiny history

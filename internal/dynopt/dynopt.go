@@ -52,23 +52,24 @@ type Config struct {
 	// the memory image for every run.
 	Machine *vm.Machine
 	// Scratch, when set, pools every reusable piece of per-run state —
-	// interpreter, simulator, metrics collector, and report analyzer —
-	// across back-to-back runs. It subsumes Machine (which is then
-	// ignored). The code cache is still fresh per run: it is part of the
-	// Result.
+	// interpreter, simulator, metrics collector, code cache, and report
+	// analyzer — across back-to-back runs. It subsumes Machine (which is
+	// then ignored).
 	Scratch *Scratch
 }
 
 // Scratch holds the pooled per-run state for callers running many
 // simulations back to back (one Scratch per harness worker). The zero value
-// is ready to use. While a Scratch is set, the Result's Collector and the
-// report's intermediate tables live in the Scratch and are invalidated by
-// the next run that uses it.
+// is ready to use. While a Scratch is set, the Result's Cache and Collector
+// and the report's intermediate tables live in the Scratch and are
+// invalidated by the next run that uses it; the Result's Report is a plain
+// value, detached from all scratch state, and stays valid indefinitely.
 type Scratch struct {
 	machine  vm.Machine
 	col      metrics.Collector
 	analyzer metrics.Analyzer
 	sim      Simulator
+	cache    codecache.Cache
 }
 
 // Tracer observes the simulated system's state machine.
@@ -118,21 +119,23 @@ type Simulator struct {
 // covering the VM's one-past-the-end predecode sentinel), so the simulation
 // hot path never grows a table.
 func NewSimulator(p *program.Program, cfg Config) *Simulator {
-	var cache *codecache.Cache
-	if cfg.CacheLimitBytes > 0 {
-		cache = codecache.NewBounded(p, cfg.CacheLimitBytes)
-	} else {
-		cache = codecache.New(p)
-	}
 	var sim *Simulator
 	var col *metrics.Collector
+	var cache *codecache.Cache
 	if cfg.Scratch != nil {
 		sim = &cfg.Scratch.sim
 		col = &cfg.Scratch.col
 		col.Reset()
+		cache = &cfg.Scratch.cache
+		cache.Reset(p, cfg.CacheLimitBytes)
 	} else {
 		sim = &Simulator{}
 		col = metrics.NewCollector()
+		if cfg.CacheLimitBytes > 0 {
+			cache = codecache.NewBounded(p, cfg.CacheLimitBytes)
+		} else {
+			cache = codecache.New(p)
+		}
 	}
 	addrSpace := p.Len() + 1
 	col.EnsureCap(addrSpace)

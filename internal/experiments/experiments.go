@@ -8,38 +8,37 @@
 package experiments
 
 import (
-	"errors"
+	"context"
 	"fmt"
-	"runtime"
-	"sort"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dynopt"
 	"repro/internal/metrics"
+	"repro/internal/sweep"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
 
-// Selectors used throughout, in presentation order.
+// Selectors used throughout, in presentation order. The canonical names
+// live in package sweep; these aliases keep the harness API stable.
 const (
-	NET     = "net"
-	LEI     = "lei"
-	NETComb = "net+comb"
-	LEIComb = "lei+comb"
+	NET     = sweep.NET
+	LEI     = sweep.LEI
+	NETComb = sweep.NETComb
+	LEIComb = sweep.LEIComb
 )
 
 // AllSelectors returns the four configurations the paper evaluates.
-func AllSelectors() []string { return []string{NET, LEI, NETComb, LEIComb} }
+func AllSelectors() []string { return sweep.PaperSelectors() }
 
 // DefaultParams returns the paper's published algorithm parameters.
 func DefaultParams() core.Params { return core.DefaultParams() }
 
 // Related-work selector names (paper §5).
 const (
-	MojoNET = "mojo-net"
-	BOA     = "boa"
-	WRS     = "wrs"
+	MojoNET = sweep.MojoNET
+	BOA     = sweep.BOA
+	WRS     = sweep.WRS
 )
 
 // RelatedSelectors returns the §5 comparison set.
@@ -47,24 +46,7 @@ func RelatedSelectors() []string { return []string{NET, MojoNET, BOA, WRS, LEI} 
 
 // NewSelector builds a fresh selector for one run.
 func NewSelector(name string, params core.Params) (core.Selector, error) {
-	switch name {
-	case NET:
-		return core.NewNET(params), nil
-	case LEI:
-		return core.NewLEI(params), nil
-	case NETComb:
-		return core.NewCombiner(core.BaseNET, params), nil
-	case LEIComb:
-		return core.NewCombiner(core.BaseLEI, params), nil
-	case MojoNET:
-		return core.NewMojoNET(params, 30), nil
-	case BOA:
-		return core.NewBOA(params), nil
-	case WRS:
-		return core.NewWRS(params), nil
-	default:
-		return nil, fmt.Errorf("experiments: unknown selector %q", name)
-	}
+	return sweep.NewSelector(name, params)
 }
 
 // Results holds one report per (benchmark, selector).
@@ -74,8 +56,24 @@ type Results struct {
 	Reports map[string]map[string]metrics.Report
 }
 
-// Get returns the report for a benchmark under a selector.
-func (r *Results) Get(bench, sel string) metrics.Report { return r.Reports[bench][sel] }
+// Get returns the report for a benchmark under a selector. It panics when
+// the pair was never run — a cancelled sweep delivers only a prefix of the
+// grid — so a zero-valued report can never be mistaken for a real one. Use
+// Lookup to probe.
+func (r *Results) Get(bench, sel string) metrics.Report {
+	rep, ok := r.Lookup(bench, sel)
+	if !ok {
+		panic(fmt.Sprintf("experiments: no report for %s under %s", bench, sel))
+	}
+	return rep
+}
+
+// Lookup returns the report for a benchmark under a selector, reporting
+// whether the pair was actually run.
+func (r *Results) Lookup(bench, sel string) (metrics.Report, bool) {
+	rep, ok := r.Reports[bench][sel]
+	return rep, ok
+}
 
 // RunOne simulates a single (workload, selector) pair.
 func RunOne(bench, sel string, scale int, params core.Params) (metrics.Report, error) {
@@ -102,55 +100,31 @@ func runOne(bench, sel string, scale int, params core.Params, scratch *dynopt.Sc
 	return res.Report, nil
 }
 
-// RunAll simulates every SPEC-named benchmark under every selector,
-// in parallel across (bench, selector) pairs.
-func RunAll(scale int, params core.Params) (*Results, error) {
+// RunAll simulates every SPEC-named benchmark under every selector — the
+// paper's 12×4 grid — as a thin wrapper over the sweep engine: sharded
+// across GOMAXPROCS workers with work stealing, per-shard pooled scratch,
+// and fail-fast cancellation. A failed worker (or a cancellation of ctx)
+// stops the whole grid instead of draining the remaining pairs; every error
+// observed before the stop is aggregated with errors.Join in deterministic
+// order.
+func RunAll(ctx context.Context, scale int, params core.Params) (*Results, error) {
 	benches := workloads.SpecNames()
 	sels := AllSelectors()
 	res := &Results{Scale: scale, Reports: make(map[string]map[string]metrics.Report, len(benches))}
 	for _, b := range benches {
 		res.Reports[b] = make(map[string]metrics.Report, len(sels))
 	}
-	type job struct{ bench, sel string }
-	jobs := make(chan job)
-	var mu sync.Mutex
-	var errs []error
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(benches)*len(sels) {
-		workers = len(benches) * len(sels)
+	g := sweep.Grid{
+		Workloads: benches,
+		Scale:     scale,
+		Selectors: sels,
+		Configs:   []sweep.Config{{Params: params}},
 	}
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// One reusable scratch per worker: every run on this worker
-			// shares the same interpreter memory image, predecode buffers,
-			// metrics collector, and report-analyzer tables.
-			scratch := &dynopt.Scratch{}
-			for j := range jobs {
-				rep, err := runOne(j.bench, j.sel, scale, params, scratch)
-				mu.Lock()
-				if err != nil {
-					errs = append(errs, err)
-				}
-				res.Reports[j.bench][j.sel] = rep
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, b := range benches {
-		for _, s := range sels {
-			jobs <- job{b, s}
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	if len(errs) > 0 {
-		// Report every broken (benchmark, selector) pair, not just the
-		// first; order deterministically since workers race.
-		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
-		return nil, errors.Join(errs...)
+	err := sweep.RunGrid(ctx, g, sweep.Options{}, sweep.FuncSink(func(r sweep.Result) {
+		res.Reports[r.Job.Workload][r.Job.Selector] = r.Report
+	}))
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ const smallScale = 60
 
 func runAll(t *testing.T) *Results {
 	t.Helper()
-	res, err := RunAll(smallScale, core.DefaultParams())
+	res, err := RunAll(context.Background(), smallScale, core.DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -191,14 +191,21 @@ func (b *HistoryBuffer) At(seq uint64) HistoryEntry {
 // first — the transfers of the just-completed cycle that FORM-TRACE walks
 // (Figure 6, line 3). seq must be resident.
 func (b *HistoryBuffer) After(seq uint64) []HistoryEntry {
+	return b.AppendAfter(seq, make([]HistoryEntry, 0, b.next-seq-1))
+}
+
+// AppendAfter appends the entries at positions strictly greater than seq to
+// dst, oldest first, and returns the extended slice. It is the allocation-free
+// variant of After for callers that keep a reusable scratch slice. seq must
+// be resident.
+func (b *HistoryBuffer) AppendAfter(seq uint64, dst []HistoryEntry) []HistoryEntry {
 	if !b.resident(seq) {
 		panic("profile: stale history position")
 	}
-	out := make([]HistoryEntry, 0, b.next-seq-1)
 	for s := seq + 1; s < b.next; s++ {
-		out = append(out, *b.slot(s))
+		dst = append(dst, *b.slot(s))
 	}
-	return out
+	return dst
 }
 
 // TruncateAfter removes every entry at a position strictly greater than seq
@@ -218,4 +225,17 @@ func (b *HistoryBuffer) Reset() {
 	b.first = 0
 	b.next = 0
 	b.inserts = 0
+}
+
+// Resize empties the buffer and re-targets it to a new capacity. The slot
+// array is reallocated only when the capacity actually changes, so pooled
+// selectors re-armed with the same HistoryCap reuse their storage.
+func (b *HistoryBuffer) Resize(capacity int) {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	if capacity != len(b.slots) {
+		b.slots = make([]HistoryEntry, capacity)
+	}
+	b.Reset()
 }

@@ -1,0 +1,47 @@
+package sweep
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Selector configuration names. The first four are the paper's evaluation
+// set; the rest are the §5 related-work comparisons.
+const (
+	NET     = "net"
+	LEI     = "lei"
+	NETComb = "net+comb"
+	LEIComb = "lei+comb"
+	MojoNET = "mojo-net"
+	BOA     = "boa"
+	WRS     = "wrs"
+)
+
+// PaperSelectors returns the four configurations the paper evaluates, in
+// presentation order.
+func PaperSelectors() []string { return []string{NET, LEI, NETComb, LEIComb} }
+
+// NewSelector builds a fresh selector for one run. Sweep shards prefer
+// recycling a pooled core.Resettable selector and fall back to this factory
+// for the rest.
+func NewSelector(name string, params core.Params) (core.Selector, error) {
+	switch name {
+	case NET:
+		return core.NewNET(params), nil
+	case LEI:
+		return core.NewLEI(params), nil
+	case NETComb:
+		return core.NewCombiner(core.BaseNET, params), nil
+	case LEIComb:
+		return core.NewCombiner(core.BaseLEI, params), nil
+	case MojoNET:
+		return core.NewMojoNET(params, 30), nil
+	case BOA:
+		return core.NewBOA(params), nil
+	case WRS:
+		return core.NewWRS(params), nil
+	default:
+		return nil, fmt.Errorf("sweep: unknown selector %q", name)
+	}
+}

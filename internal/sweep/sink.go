@@ -1,0 +1,119 @@
+package sweep
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Result is one completed cell of a sweep grid.
+type Result struct {
+	// Index is the job's position in the grid's deterministic enumeration
+	// order. Results are delivered in strictly increasing Index order.
+	Index int
+	// Job is the grid cell that produced the report.
+	Job Job
+	// Report carries every paper metric for the run.
+	Report metrics.Report
+}
+
+// ResultSink receives completed sweep results as they stream out of the
+// engine. Deliver is called at most once per job, serialized and in strictly
+// increasing Index order, so a sink needs no locking and no buffering of its
+// own; it must not block indefinitely (delivery applies backpressure to the
+// shards). On cancellation or failure the remaining results are dropped, so
+// a sink must tolerate a truncated stream.
+type ResultSink interface {
+	Deliver(Result)
+}
+
+// FuncSink adapts a function to the ResultSink interface.
+type FuncSink func(Result)
+
+// Deliver implements ResultSink.
+func (f FuncSink) Deliver(r Result) { f(r) }
+
+// CollectSink accumulates every delivered result in order. It is the
+// bounded-grid convenience sink; streaming sinks should be preferred for
+// grids too large to hold in memory.
+type CollectSink struct {
+	Results []Result
+}
+
+// Deliver implements ResultSink.
+func (s *CollectSink) Deliver(r Result) { s.Results = append(s.Results, r) }
+
+// CountingSink counts deliveries without retaining them — the zero-overhead
+// sink used by benchmarks and alloc guards.
+type CountingSink struct {
+	N int
+}
+
+// Deliver implements ResultSink.
+func (s *CountingSink) Deliver(Result) { s.N++ }
+
+type nopSink struct{}
+
+func (nopSink) Deliver(Result) {}
+
+// delivery is the engine's ordered streaming stage: a bounded reorder ring
+// between the racing shards and the single serialized sink. A shard
+// finishing job i blocks only while i is more than window slots ahead of the
+// oldest undelivered job — and the shard owning that oldest job never
+// blocks, which is what makes the backpressure deadlock-free (shards drain
+// their contiguous ranges in increasing index order). Memory is bounded by
+// the window regardless of grid size, and the ring slots are reused, so
+// steady-state delivery does not allocate.
+type delivery struct {
+	mu        sync.Mutex
+	cond      sync.Cond
+	buf       []Result // ring: job i parks in buf[i%len(buf)]
+	ready     []bool
+	next      int // lowest undelivered index
+	cancelled bool
+	sink      ResultSink
+}
+
+func newDelivery(window int, sink ResultSink) *delivery {
+	d := &delivery{
+		buf:   make([]Result, window),
+		ready: make([]bool, window),
+		sink:  sink,
+	}
+	d.cond.L = &d.mu
+	return d
+}
+
+// deliver hands one finished result to the sink, in index order, blocking
+// while the result is too far ahead of the delivery frontier.
+func (d *delivery) deliver(r Result) {
+	d.mu.Lock()
+	w := len(d.buf)
+	for !d.cancelled && r.Index >= d.next+w {
+		d.cond.Wait()
+	}
+	if d.cancelled {
+		d.mu.Unlock()
+		return
+	}
+	d.buf[r.Index%w] = r
+	d.ready[r.Index%w] = true
+	for d.ready[d.next%w] {
+		slot := d.next % w
+		d.ready[slot] = false
+		d.next++
+		// The sink runs under the lock: delivery is serialized and ordered
+		// by construction, and shards that race ahead wait right here.
+		d.sink.Deliver(d.buf[slot])
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// cancelAll wakes every blocked shard and drops all undelivered results.
+func (d *delivery) cancelAll() {
+	d.mu.Lock()
+	d.cancelled = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}

@@ -1,0 +1,384 @@
+// Package sweep is the sharded parameter-sweep engine: it executes an
+// arbitrary (workload × selector × params) grid across a set of worker
+// shards with work stealing, context-based fail-fast cancellation, and
+// bounded-memory streaming result delivery in deterministic grid order.
+//
+// The paper's evaluation is a parameter study — selector behavior under
+// varying thresholds, history-buffer sizes, and cache bounds — and the
+// engine is built so such studies are pure compute: each shard owns one
+// dynopt.Scratch (interpreter, simulator, collector, analyzer, code cache)
+// and a pool of Resettable selectors, programs are built once and shared
+// read-only across shards, and the reorder ring reuses its slots, so a
+// shard's steady-state job loop performs zero heap allocations (enforced by
+// TestShardSteadyStateAllocFree).
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dynopt"
+	"repro/internal/metrics"
+	"repro/internal/program"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// Job is one cell of a sweep grid.
+type Job struct {
+	// Workload is a registered workload name (see internal/workloads).
+	Workload string
+	// Scale is the workload scale multiplier (<=0 selects the default).
+	Scale int
+	// Selector is a selector configuration name (see NewSelector).
+	Selector string
+	// Params are the selection-algorithm tunables for this cell.
+	Params core.Params
+	// CacheLimitBytes bounds the code cache; zero means unbounded.
+	CacheLimitBytes int
+}
+
+// Config is one (params, cache bound) point of a grid.
+type Config struct {
+	Params          core.Params
+	CacheLimitBytes int
+}
+
+// Grid enumerates the cross product workloads × configs × selectors in a
+// deterministic order: workload-major, then config, then selector. Job
+// indices — and therefore result delivery order — follow this enumeration.
+type Grid struct {
+	Workloads []string
+	Scale     int
+	Selectors []string
+	// Configs are the parameter points; nil means one all-defaults config.
+	Configs []Config
+}
+
+// Jobs materializes the grid's job list in enumeration order.
+func (g Grid) Jobs() []Job {
+	configs := g.Configs
+	if len(configs) == 0 {
+		configs = []Config{{}}
+	}
+	jobs := make([]Job, 0, len(g.Workloads)*len(configs)*len(g.Selectors))
+	for _, w := range g.Workloads {
+		for _, c := range configs {
+			for _, s := range g.Selectors {
+				jobs = append(jobs, Job{
+					Workload:        w,
+					Scale:           g.Scale,
+					Selector:        s,
+					Params:          c.Params,
+					CacheLimitBytes: c.CacheLimitBytes,
+				})
+			}
+		}
+	}
+	return jobs
+}
+
+// Options tunes the engine.
+type Options struct {
+	// Shards is the number of worker shards; <=0 means GOMAXPROCS.
+	Shards int
+	// Window bounds the reorder ring: a shard may run at most Window jobs
+	// ahead of the oldest undelivered one. <=0 means 4 × shards. Memory
+	// held for undelivered results is Window × sizeof(Result) regardless of
+	// grid size.
+	Window int
+}
+
+// Shard is the per-worker execution state: one pooled dynopt.Scratch and a
+// pool of Resettable selectors keyed by configuration name. After warm-up
+// (first job per workload/selector shape), Run performs zero heap
+// allocations per job for the paper's NET and LEI selectors; the combining
+// selectors still allocate for compact-trace storage and region-CFG
+// construction (see docs/PERFORMANCE.md).
+type Shard struct {
+	scratch   dynopt.Scratch
+	selectors map[string]core.Selector
+}
+
+// NewShard returns an empty shard.
+func NewShard() *Shard {
+	return &Shard{selectors: make(map[string]core.Selector)}
+}
+
+// selector returns a selector for the job, recycling a pooled Resettable
+// instance when one exists.
+func (s *Shard) selector(name string, params core.Params) (core.Selector, error) {
+	if sel, ok := s.selectors[name]; ok {
+		sel.(core.Resettable).Reset(params)
+		return sel, nil
+	}
+	sel, err := NewSelector(name, params)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := sel.(core.Resettable); ok {
+		s.selectors[name] = sel
+	}
+	return sel, nil
+}
+
+// Run executes one job on the shard. The program must be the built form of
+// job.Workload at job.Scale; it is read-only during the run and may be
+// shared across shards.
+func (s *Shard) Run(p *program.Program, job Job) (metrics.Report, error) {
+	sel, err := s.selector(job.Selector, job.Params)
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	res, err := dynopt.Run(p, dynopt.Config{
+		Selector:        sel,
+		VM:              vm.Config{},
+		CacheLimitBytes: job.CacheLimitBytes,
+		Scratch:         &s.scratch,
+	})
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	res.Report.Workload = job.Workload
+	return res.Report, nil
+}
+
+// progCache builds each distinct (workload, scale) program once and shares
+// it across shards: programs are immutable after Build (every index is
+// precomputed), so concurrent runs only read them.
+type progCache struct {
+	mu sync.Mutex
+	m  map[progKey]*program.Program
+}
+
+type progKey struct {
+	name  string
+	scale int
+}
+
+func (pc *progCache) get(name string, scale int) (*program.Program, error) {
+	key := progKey{name, scale}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if p, ok := pc.m[key]; ok {
+		return p, nil
+	}
+	w, ok := workloads.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("sweep: unknown workload %q", name)
+	}
+	p := w.Build(scale)
+	if pc.m == nil {
+		pc.m = make(map[progKey]*program.Program)
+	}
+	pc.m[key] = p
+	return p, nil
+}
+
+// queue is one shard's contiguous range of pending job indices. The owner
+// pops from the bottom; thieves split off the top half.
+type queue struct {
+	mu     sync.Mutex
+	lo, hi int // remaining jobs [lo, hi)
+}
+
+func (q *queue) pop() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.lo >= q.hi {
+		return 0, false
+	}
+	i := q.lo
+	q.lo++
+	return i, true
+}
+
+func (q *queue) remaining() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.hi - q.lo
+}
+
+// steal splits off the top half of the queue's range, leaving at least one
+// job for the owner.
+func (q *queue) steal() (lo, hi int, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := q.hi - q.lo
+	if n <= 1 {
+		return 0, 0, false
+	}
+	take := n / 2
+	lo, hi = q.hi-take, q.hi
+	q.hi = lo
+	return lo, hi, true
+}
+
+func (q *queue) refill(lo, hi int) {
+	q.mu.Lock()
+	q.lo, q.hi = lo, hi
+	q.mu.Unlock()
+}
+
+type engine struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	jobs   []Job
+	queues []*queue
+	progs  progCache
+	del    *delivery
+
+	mu   sync.Mutex
+	errs []error
+}
+
+// Run executes jobs across opts.Shards worker shards, streaming results to
+// sink in job-index order. It fails fast: the first job error (or a
+// cancellation of ctx) stops the whole grid, dropping undelivered results,
+// and every error observed before the stop is aggregated with errors.Join
+// in deterministic order.
+func Run(ctx context.Context, jobs []Job, opts Options, sink ResultSink) error {
+	if len(jobs) == 0 {
+		return ctx.Err()
+	}
+	if sink == nil {
+		sink = nopSink{}
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > len(jobs) {
+		shards = len(jobs)
+	}
+	window := opts.Window
+	if window <= 0 {
+		window = 4 * shards
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	e := &engine{
+		ctx:    runCtx,
+		cancel: cancel,
+		jobs:   jobs,
+		queues: make([]*queue, shards),
+		del:    newDelivery(window, sink),
+	}
+	// Partition the grid into contiguous per-shard ranges; work stealing
+	// rebalances them as shards drain at different speeds.
+	base, rem := len(jobs)/shards, len(jobs)%shards
+	lo := 0
+	for i := range e.queues {
+		n := base
+		if i < rem {
+			n++
+		}
+		e.queues[i] = &queue{lo: lo, hi: lo + n}
+		lo += n
+	}
+	// Wake shards blocked on delivery backpressure when the run is
+	// cancelled (externally or by a failing job).
+	monitorDone := make(chan struct{})
+	go func() {
+		<-runCtx.Done()
+		e.del.cancelAll()
+		close(monitorDone)
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			e.worker(id)
+		}(i)
+	}
+	wg.Wait()
+	cancel()
+	<-monitorDone
+	e.mu.Lock()
+	errs := e.errs
+	e.mu.Unlock()
+	if len(errs) > 0 {
+		// Report every broken cell observed before the stop, ordered
+		// deterministically since shards race.
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+		return errors.Join(errs...)
+	}
+	return ctx.Err()
+}
+
+// RunGrid is Run over a grid's enumeration.
+func RunGrid(ctx context.Context, g Grid, opts Options, sink ResultSink) error {
+	return Run(ctx, g.Jobs(), opts, sink)
+}
+
+func (e *engine) worker(id int) {
+	shard := NewShard()
+	q := e.queues[id]
+	for {
+		if e.ctx.Err() != nil {
+			return
+		}
+		i, ok := q.pop()
+		if !ok {
+			lo, hi, ok := e.stealLargest(id)
+			if !ok {
+				return
+			}
+			q.refill(lo, hi)
+			continue
+		}
+		e.process(i, shard)
+	}
+}
+
+// stealLargest takes the top half of the victim queue with the most pending
+// jobs, retrying while steals race, and reports false when no queue has work
+// to spare.
+func (e *engine) stealLargest(id int) (lo, hi int, ok bool) {
+	for {
+		best, bestN := -1, 1
+		for j, v := range e.queues {
+			if j == id {
+				continue
+			}
+			if n := v.remaining(); n > bestN {
+				best, bestN = j, n
+			}
+		}
+		if best < 0 {
+			return 0, 0, false
+		}
+		if lo, hi, ok = e.queues[best].steal(); ok {
+			return lo, hi, true
+		}
+	}
+}
+
+func (e *engine) process(i int, shard *Shard) {
+	job := e.jobs[i]
+	p, err := e.progs.get(job.Workload, job.Scale)
+	if err != nil {
+		e.fail(err)
+		return
+	}
+	rep, err := shard.Run(p, job)
+	if err != nil {
+		e.fail(fmt.Errorf("sweep: %s under %s: %w", job.Workload, job.Selector, err))
+		return
+	}
+	e.del.deliver(Result{Index: i, Job: job, Report: rep})
+}
+
+// fail records a job error and stops the grid.
+func (e *engine) fail(err error) {
+	e.mu.Lock()
+	e.errs = append(e.errs, err)
+	e.mu.Unlock()
+	e.cancel()
+}

@@ -1,0 +1,266 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dynopt"
+	"repro/internal/metrics"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+const testScale = 60
+
+// directRun executes one job the pre-sweep way: fresh selector, fresh
+// simulator state, no pooling. Sweep results must be identical to this.
+func directRun(t *testing.T, job Job) metrics.Report {
+	t.Helper()
+	sel, err := NewSelector(job.Selector, job.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dynopt.Run(workloads.MustGet(job.Workload).Build(job.Scale), dynopt.Config{
+		Selector:        sel,
+		VM:              vm.Config{},
+		CacheLimitBytes: job.CacheLimitBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Report.Workload = job.Workload
+	return res.Report
+}
+
+func testGrid() Grid {
+	return Grid{
+		Workloads: workloads.SpecNames(),
+		Scale:     testScale,
+		Selectors: PaperSelectors(),
+		Configs:   []Config{{Params: core.DefaultParams()}},
+	}
+}
+
+// TestSweepOrderedAndIdentical runs the full 12×4 grid sharded and checks
+// that results arrive exactly once each, in grid-enumeration order, and
+// that every pooled-shard report is identical to an unpooled direct run.
+func TestSweepOrderedAndIdentical(t *testing.T) {
+	g := testGrid()
+	jobs := g.Jobs()
+	var sink CollectSink
+	if err := Run(context.Background(), jobs, Options{Shards: 4, Window: 3}, &sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Results) != len(jobs) {
+		t.Fatalf("delivered %d results, want %d", len(sink.Results), len(jobs))
+	}
+	for i, r := range sink.Results {
+		if r.Index != i {
+			t.Fatalf("result %d has index %d: delivery out of order", i, r.Index)
+		}
+		if r.Job != jobs[i] {
+			t.Fatalf("result %d carries job %+v, want %+v", i, r.Job, jobs[i])
+		}
+	}
+	// Spot-check pooled-vs-fresh identity on a deterministic sample: every
+	// selector, several workloads (the full cross product would re-run the
+	// grid twice).
+	for i := 0; i < len(jobs); i += 7 {
+		want := directRun(t, jobs[i])
+		if sink.Results[i].Report != want {
+			t.Errorf("%s under %s: pooled sweep report differs from direct run\n sweep: %+v\ndirect: %+v",
+				jobs[i].Workload, jobs[i].Selector, sink.Results[i].Report, want)
+		}
+	}
+}
+
+// TestShardReuseAcrossParams re-runs the same shard across alternating
+// parameter points and cache bounds, checking each pooled run against a
+// fresh one: this is the selector Reset / cache Reset correctness guard
+// under eviction-heavy bounded configurations too.
+func TestShardReuseAcrossParams(t *testing.T) {
+	small := core.DefaultParams()
+	small.NETThreshold = 10
+	small.LEIThreshold = 8
+	small.HistoryCap = 64
+	configs := []Config{
+		{Params: core.DefaultParams()},
+		{Params: small},
+		{Params: core.DefaultParams(), CacheLimitBytes: 400},
+		{Params: small, CacheLimitBytes: 400},
+	}
+	shard := NewShard()
+	for _, wl := range []string{"fig3-nested-loops", "gcc", "perlbmk"} {
+		p := workloads.MustGet(wl).Build(testScale)
+		for round := 0; round < 2; round++ {
+			for _, sel := range PaperSelectors() {
+				for _, c := range configs {
+					job := Job{Workload: wl, Scale: testScale, Selector: sel, Params: c.Params, CacheLimitBytes: c.CacheLimitBytes}
+					got, err := shard.Run(p, job)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := directRun(t, job)
+					if got != want {
+						t.Fatalf("%s under %s (limit %d, round %d): pooled report differs\npooled: %+v\n fresh: %+v",
+							wl, sel, c.CacheLimitBytes, round, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSweepFailFast checks that a broken cell stops the grid: the error is
+// reported and delivery is a clean prefix of the enumeration (no result
+// after the failure is delivered out of order).
+func TestSweepFailFast(t *testing.T) {
+	g := testGrid()
+	jobs := g.Jobs()
+	jobs[5].Workload = "no-such-workload"
+	var sink CollectSink
+	err := Run(context.Background(), jobs, Options{Shards: 4}, &sink)
+	if err == nil {
+		t.Fatal("sweep with a broken cell reported no error")
+	}
+	if len(sink.Results) >= len(jobs) {
+		t.Fatalf("all %d results delivered despite fail-fast", len(sink.Results))
+	}
+	for i, r := range sink.Results {
+		if r.Index != i {
+			t.Fatalf("result %d has index %d after failure", i, r.Index)
+		}
+	}
+}
+
+// TestSweepCancellation cancels the context from inside the sink and checks
+// the engine stops early and reports the cancellation.
+func TestSweepCancellation(t *testing.T) {
+	g := testGrid()
+	jobs := g.Jobs()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	delivered := 0
+	err := Run(ctx, jobs, Options{Shards: 4}, FuncSink(func(r Result) {
+		delivered++
+		if delivered == 3 {
+			cancel()
+		}
+	}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if delivered >= len(jobs) {
+		t.Fatalf("all %d results delivered despite cancellation", delivered)
+	}
+}
+
+// TestSweepSingleShard pins the shards=1 degenerate case (no stealing, the
+// benchmark baseline) to the same output as the sharded run.
+func TestSweepSingleShard(t *testing.T) {
+	g := Grid{
+		Workloads: []string{"gzip", "vpr"},
+		Scale:     testScale,
+		Selectors: PaperSelectors(),
+	}
+	var one, many CollectSink
+	if err := RunGrid(context.Background(), g, Options{Shards: 1}, &one); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunGrid(context.Background(), g, Options{Shards: 8, Window: 2}, &many); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one.Results, many.Results) {
+		t.Fatal("sharded sweep output differs from single-shard output")
+	}
+}
+
+// TestSyntheticReportDeterministic checks the synthetic stress generator end
+// to end: two independently built programs from the same seed must produce
+// identical metrics.Report values under all four paper selectors.
+func TestSyntheticReportDeterministic(t *testing.T) {
+	const size = 60_000
+	a := workloads.Synthetic(7, size)
+	b := workloads.Synthetic(7, size)
+	for _, sel := range PaperSelectors() {
+		job := Job{Workload: "synthetic", Selector: sel, Params: core.DefaultParams()}
+		shard := NewShard()
+		ra, err := shard.Run(a, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := shard.Run(b, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra != rb {
+			t.Errorf("%s: same-seed synthetic programs produced different reports\n a: %+v\n b: %+v", sel, ra, rb)
+		}
+	}
+}
+
+// TestGridEnumerationOrder pins the deterministic job order: workload-major,
+// then config, then selector.
+func TestGridEnumerationOrder(t *testing.T) {
+	g := Grid{
+		Workloads: []string{"a", "b"},
+		Selectors: []string{"s1", "s2"},
+		Configs:   []Config{{CacheLimitBytes: 1}, {CacheLimitBytes: 2}},
+	}
+	jobs := g.Jobs()
+	want := []struct {
+		w string
+		l int
+		s string
+	}{
+		{"a", 1, "s1"}, {"a", 1, "s2"}, {"a", 2, "s1"}, {"a", 2, "s2"},
+		{"b", 1, "s1"}, {"b", 1, "s2"}, {"b", 2, "s1"}, {"b", 2, "s2"},
+	}
+	if len(jobs) != len(want) {
+		t.Fatalf("%d jobs, want %d", len(jobs), len(want))
+	}
+	for i, w := range want {
+		j := jobs[i]
+		if j.Workload != w.w || j.CacheLimitBytes != w.l || j.Selector != w.s {
+			t.Fatalf("job %d = %+v, want %+v", i, j, w)
+		}
+	}
+}
+
+// TestShardSteadyStateAllocFree pins the tentpole's zero-alloc claim: after
+// one warm-up run per shape, a shard's job loop — pooled interpreter,
+// simulator, collector, analyzer, code cache, and Resettable selector —
+// performs zero heap allocations per run for the non-combining selectors,
+// including under an eviction-heavy bounded cache (region free-list).
+func TestShardSteadyStateAllocFree(t *testing.T) {
+	shard := NewShard()
+	for _, tc := range []struct {
+		name string
+		job  Job
+	}{
+		{"net", Job{Workload: "fig3-nested-loops", Scale: 40, Selector: NET, Params: core.DefaultParams()}},
+		{"lei", Job{Workload: "fig3-nested-loops", Scale: 40, Selector: LEI, Params: core.DefaultParams()}},
+		{"net-bounded", Job{Workload: "gzip", Scale: 40, Selector: NET, Params: core.DefaultParams(), CacheLimitBytes: 300}},
+		{"lei-bounded", Job{Workload: "gzip", Scale: 40, Selector: LEI, Params: core.DefaultParams(), CacheLimitBytes: 300}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := workloads.MustGet(tc.job.Workload).Build(tc.job.Scale)
+			for i := 0; i < 2; i++ { // warm up pools and dense tables
+				if _, err := shard.Run(p, tc.job); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(5, func() {
+				if _, err := shard.Run(p, tc.job); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state shard run allocated %.1f times, want 0", allocs)
+			}
+		})
+	}
+}

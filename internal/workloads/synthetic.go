@@ -1,0 +1,223 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/program"
+)
+
+func init() {
+	register(Workload{
+		Name: "synthetic",
+		Description: "seeded large-program stress generator: a randomized " +
+			"mix of loop nests, call graphs, indirect dispatch, and " +
+			"biased/unbiased branch diamonds sized to a target dynamic " +
+			"instruction count (scale; default 2×10⁵)",
+		DefaultScale: 200_000,
+		Build:        func(s int) *program.Program { return Synthetic(0x5EED, scaleOr(s, 200_000)) },
+		BuildSeeded:  func(s int, seed int64) *program.Program { return Synthetic(0x5EED^seed, scaleOr(s, 200_000)) },
+	})
+}
+
+// synthUnit emits one kernel's functions and records how main invokes it.
+type synthUnit struct {
+	entry string // function main calls
+}
+
+// Synthetic builds a seeded large program: size is the target dynamic
+// instruction count (the paper-scale stress range is 10⁵–10⁶). The program
+// is a sequence of independently shaped kernels — loop nests, call graphs,
+// indirect dispatch through in-memory jump tables, and biased/unbiased
+// branch diamonds — whose shapes, trip counts, and block sizes are drawn
+// from a generator seeded with seed, while all dynamic branch behaviour is
+// driven by an in-program LCG seeded from the same value. The static size
+// grows with the target (roughly one kernel per 8k dynamic instructions),
+// so large sizes stress the dense per-address tables as well as the
+// simulation loop. Same seed and size ⇒ byte-identical program and
+// bit-identical execution; every loop is counted, so the program always
+// terminates.
+func Synthetic(seed int64, size int) *program.Program {
+	if size <= 0 {
+		size = 200_000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	a := newAsm()
+	a.Jmp("main")
+
+	nUnits := size / 4000
+	if nUnits < 4 {
+		nUnits = 4
+	}
+	if nUnits > 192 {
+		nUnits = 192
+	}
+	budget := size / nUnits
+	g := &synthGen{asm: a, rng: rng}
+	units := make([]synthUnit, nUnits)
+	for u := range units {
+		// Kernels are emitted before main (lower addresses), so main's
+		// calls are forward and each kernel's internal cycles are the only
+		// backward control flow — the shape region selectors profile.
+		switch g.rng.Intn(5) {
+		case 0:
+			units[u] = g.loopNest(u, budget)
+		case 1:
+			units[u] = g.callGraph(u, budget)
+		case 2:
+			units[u] = g.indirectDispatch(u, budget)
+		case 3:
+			units[u] = g.diamond(u, budget, 16+g.rng.Intn(32)) // biased
+		default:
+			units[u] = g.diamond(u, budget, 120+g.rng.Intn(16)) // unbiased
+		}
+	}
+
+	a.Func("main")
+	a.seed(seed | 1)
+	for _, u := range units {
+		a.Call(u.entry)
+	}
+	a.Halt()
+	return a.MustBuild()
+}
+
+// synthGen carries the structure RNG through kernel emission.
+type synthGen struct {
+	asm *asm
+	rng *rand.Rand
+}
+
+func (g *synthGen) name(u int, kind string) string {
+	return fmt.Sprintf("u%d_%s", u, kind)
+}
+
+// iters converts a dynamic-instruction budget into a trip count given an
+// estimated per-iteration cost.
+func iters(budget, perIter int) int64 {
+	n := budget / perIter
+	if n < 2 {
+		n = 2
+	}
+	return int64(n)
+}
+
+// loopNest emits a 2- or 3-deep counted loop nest with filler work and a
+// rarely-taken early-out branch in the innermost body.
+func (g *synthGen) loopNest(u, budget int) synthUnit {
+	a := g.asm
+	entry := g.name(u, "nest")
+	a.Func(entry)
+	depth := 2 + g.rng.Intn(2)
+	w := 4 + g.rng.Intn(9)
+	inner := int64(8 + g.rng.Intn(25))
+	perIter := w + 8 + 2 // body + LCG branch + loop close
+	total := iters(budget, int(inner)*perIter)
+	skip := a.fresh("skip")
+	_, closeOuter := a.counted(1, total)
+	a.work(2, 10, 11, 12)
+	_, closeMid := a.counted(2, inner)
+	if depth == 3 {
+		_, closeInner := a.counted(3, 2)
+		a.work(w/2, 12, 13, 14)
+		closeInner()
+	}
+	a.work(w, 13, 14, 15)
+	a.randBranch(8, skip) // rare early-out: a low-frequency side exit
+	a.work(2, 14, 15, 16)
+	a.Label(skip)
+	closeMid()
+	closeOuter()
+	a.Ret()
+	return synthUnit{entry: entry}
+}
+
+// callGraph emits a chain of 2–4 helper functions invoked from a counted
+// loop, with one helper shared by two call sites (a join in the dynamic
+// call graph).
+func (g *synthGen) callGraph(u, budget int) synthUnit {
+	a := g.asm
+	k := 2 + g.rng.Intn(3)
+	helpers := make([]string, k)
+	for i := range helpers {
+		helpers[i] = g.name(u, fmt.Sprintf("h%d", i))
+		a.Func(helpers[i])
+		a.work(3+g.rng.Intn(6), 16, 17, 18)
+		if i > 0 && g.rng.Intn(2) == 0 {
+			a.Call(helpers[i-1]) // backward call into the previous helper
+		}
+		a.Ret()
+	}
+	entry := g.name(u, "calls")
+	a.Func(entry)
+	perIter := k*9 + 6
+	_, closeLoop := a.counted(1, iters(budget, perIter))
+	for _, h := range helpers {
+		a.Call(h) // backward calls: the interprocedural cycles NET stops at
+	}
+	a.work(3, 10, 11, 12)
+	closeLoop()
+	a.Ret()
+	return synthUnit{entry: entry}
+}
+
+// indirectDispatch emits a loop dispatching through an in-memory jump table
+// of 4 or 8 case blocks — the megamorphic-site stressor.
+func (g *synthGen) indirectDispatch(u, budget int) synthUnit {
+	a := g.asm
+	entry := g.name(u, "disp")
+	a.Func(entry)
+	ncase := 4 << g.rng.Intn(2)
+	cases := make([]string, ncase)
+	for i := range cases {
+		cases[i] = a.fresh(fmt.Sprintf("u%d_case", u))
+	}
+	join := a.fresh(fmt.Sprintf("u%d_join", u))
+	// Each unit owns a disjoint table region: 1024 + 64 words apart.
+	base := int64(1024 + u*64)
+	a.MovImm(2, base)
+	for i, c := range cases {
+		a.MovLabel(3, c)
+		a.Store(2, int64(i), 3)
+	}
+	perIter := 8 + 4 + 6 + 4 // LCG + dispatch + case body + close
+	_, closeLoop := a.counted(1, iters(budget, perIter))
+	a.randRange(4, ncase)
+	a.Add(5, 2, 4)
+	a.Load(6, 5, 0)
+	a.JmpInd(6)
+	for i, c := range cases {
+		a.Label(c)
+		a.work(3+i%4, 18, 19, 20)
+		a.Jmp(join)
+	}
+	a.Label(join)
+	a.work(2, 11, 12, 13)
+	closeLoop()
+	a.Ret()
+	return synthUnit{entry: entry}
+}
+
+// diamond emits a loop whose body branches to one of two arms with
+// probability p/256 and rejoins — biased for small or large p, maximally
+// unbiased at 128 (the rejoining-path shape trace combination targets).
+func (g *synthGen) diamond(u, budget, p int) synthUnit {
+	a := g.asm
+	entry := g.name(u, "dia")
+	a.Func(entry)
+	arm := a.fresh(fmt.Sprintf("u%d_arm", u))
+	join := a.fresh(fmt.Sprintf("u%d_join", u))
+	w := 3 + g.rng.Intn(7)
+	perIter := 8 + 2 + w + 3 + 2
+	_, closeLoop := a.counted(1, iters(budget, perIter))
+	a.randBranch(p, arm)
+	a.work(w, 20, 21, 22)
+	a.Jmp(join)
+	a.Label(arm)
+	a.work(w, 21, 22, 23)
+	a.Label(join)
+	a.work(3, 12, 13, 14)
+	closeLoop()
+	a.Ret()
+	return synthUnit{entry: entry}
+}

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -17,7 +18,7 @@ import (
 // suite runs the full 12-benchmark x 4-selector matrix once and shares it
 // across the reproduction tests.
 var suite = sync.OnceValues(func() (*experiments.Results, error) {
-	return experiments.RunAll(0, core.DefaultParams())
+	return experiments.RunAll(context.Background(), 0, core.DefaultParams())
 })
 
 func results(t *testing.T) *experiments.Results {

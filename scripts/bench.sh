@@ -1,57 +1,32 @@
 #!/bin/sh
-# Runs the headline benchmarks and records the results as
+# Runs the headline benchmarks and records the results in
 # BENCH_pipeline.json at the repository root.
 #
-#   scripts/bench.sh [count]
+#   scripts/bench.sh [count] [bench-regex]
 #
-# count is the -count passed to `go test` (default 5). Three benchmarks are
-# recorded: BenchmarkPipeline (the full experiment matrix), BenchmarkLEI
-# (the pooled-scratch LEI selection path), and BenchmarkAnalyze (the pooled
-# metrics analyzer). The JSON holds one object per run with each
-# benchmark's normalized metrics (ns per simulated instruction, heap bytes
-# per simulated instruction, where reported) plus the standard ns/op,
-# B/op, and allocs/op columns, so regressions are diffable in review.
+# count is the -count passed to `go test` (default 5). bench-regex
+# optionally restricts which benchmarks run (default: the five recorded
+# ones). Five benchmarks are recorded: BenchmarkPipeline (the full
+# experiment matrix), BenchmarkPipelineLarge (the synthetic large-program
+# stress run), BenchmarkSweep (the sharded sweep engine at each shard
+# count), BenchmarkLEI (the pooled-scratch LEI selection path), and
+# BenchmarkAnalyze (the pooled metrics analyzer). The JSON holds one object
+# per run with each benchmark's normalized metrics (ns and heap bytes per
+# simulated instruction, jobs/s for the sweep engine, where reported) plus
+# the standard ns/op, B/op, and allocs/op columns, so regressions are
+# diffable in review. Results are merged into the existing file by
+# scripts/benchmerge: only the benchmarks that ran are replaced, so partial
+# re-runs never clobber the other recorded numbers.
 set -eu
 
 cd "$(dirname "$0")/.."
 count="${1:-5}"
+benchre="${2:-^(BenchmarkPipeline|BenchmarkPipelineLarge|BenchmarkSweep|BenchmarkLEI|BenchmarkAnalyze)$}"
 out="BENCH_pipeline.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -bench '^(BenchmarkPipeline|BenchmarkLEI|BenchmarkAnalyze)$' \
-    -benchmem -count="$count" -run '^$' . | tee "$raw"
+go test -bench "$benchre" -benchmem -count="$count" -run '^$' . | tee "$raw"
 
-awk '
-$1 ~ /^Benchmark(Pipeline|LEI|Analyze)(-[0-9]+)?$/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)
-    ns_instr = b_instr = ns_op = b_op = allocs_op = "null"
-    iters = $2
-    for (i = 3; i < NF; i++) {
-        if ($(i + 1) == "ns/instr") ns_instr = $i
-        if ($(i + 1) == "B/instr") b_instr = $i
-        if ($(i + 1) == "ns/op") ns_op = $i
-        if ($(i + 1) == "B/op") b_op = $i
-        if ($(i + 1) == "allocs/op") allocs_op = $i
-    }
-    if (!(name in seen)) { order[++nb] = name; seen[name] = 1 }
-    counts[name]++
-    runs[name, counts[name]] = sprintf("{\"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"ns_per_instr\": %s, \"bytes_per_instr\": %s}",
-        iters, ns_op, b_op, allocs_op, ns_instr, b_instr)
-}
-END {
-    if (nb == 0) { print "bench.sh: no benchmark lines found" > "/dev/stderr"; exit 1 }
-    printf "{\n  \"benchmarks\": {\n"
-    for (bi = 1; bi <= nb; bi++) {
-        name = order[bi]
-        printf "    \"%s\": {\n      \"runs\": [\n", name
-        for (i = 1; i <= counts[name]; i++)
-            printf "        %s%s\n", runs[name, i], (i < counts[name] ? "," : "")
-        printf "      ]\n    }%s\n", (bi < nb ? "," : "")
-    }
-    printf "  }\n}\n"
-}
-' "$raw" > "$out"
-
+go run ./scripts/benchmerge -out "$out" < "$raw"
 echo "wrote $out"

@@ -1,0 +1,129 @@
+// Command benchmerge folds raw `go test -bench` output (stdin) into a
+// BENCH_pipeline.json-style document: benchmarks present in the new output
+// replace their previous runs, benchmarks absent from it keep the runs
+// already recorded, so re-running a subset never clobbers the rest of the
+// file. Used by scripts/bench.sh.
+//
+//	go test -bench ... -benchmem . | go run ./scripts/benchmerge -out BENCH_pipeline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type doc struct {
+	Benchmarks map[string]*entry `json:"benchmarks"`
+}
+
+type entry struct {
+	Runs []run `json:"runs"`
+}
+
+// run mirrors one benchmark result line. Pointer fields render as null when
+// the benchmark does not report that metric.
+type run struct {
+	Iters         int64    `json:"iters"`
+	NsPerOp       *float64 `json:"ns_per_op"`
+	BytesPerOp    *float64 `json:"bytes_per_op"`
+	AllocsPerOp   *float64 `json:"allocs_per_op"`
+	NsPerInstr    *float64 `json:"ns_per_instr"`
+	BytesPerInstr *float64 `json:"bytes_per_instr"`
+	JobsPerSec    *float64 `json:"jobs_per_s,omitempty"`
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-[0-9]+$`)
+
+func main() {
+	out := flag.String("out", "BENCH_pipeline.json", "JSON file to merge results into")
+	flag.Parse()
+
+	d := doc{Benchmarks: map[string]*entry{}}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &d); err != nil {
+			fail(fmt.Errorf("parsing existing %s: %w", *out, err))
+		}
+		if d.Benchmarks == nil {
+			d.Benchmarks = map[string]*entry{}
+		}
+	} else if !os.IsNotExist(err) {
+		fail(err)
+	}
+
+	// Benchmarks seen in this input replace their prior runs wholesale.
+	replaced := map[string]bool{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		name, r, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if !replaced[name] {
+			replaced[name] = true
+			d.Benchmarks[name] = &entry{}
+		}
+		e := d.Benchmarks[name]
+		e.Runs = append(e.Runs, r)
+	}
+	if err := sc.Err(); err != nil {
+		fail(err)
+	}
+	if len(replaced) == 0 {
+		fail(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+}
+
+// parseLine decodes one `go test -bench` result line: the benchmark name
+// (with the trailing -GOMAXPROCS stripped), the iteration count, and then
+// value/unit pairs.
+func parseLine(line string) (string, run, bool) {
+	f := strings.Fields(line)
+	if len(f) < 2 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", run{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return "", run{}, false
+	}
+	r := run{Iters: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", run{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = &v
+		case "B/op":
+			r.BytesPerOp = &v
+		case "allocs/op":
+			r.AllocsPerOp = &v
+		case "ns/instr":
+			r.NsPerInstr = &v
+		case "B/instr":
+			r.BytesPerInstr = &v
+		case "jobs/s":
+			r.JobsPerSec = &v
+		}
+	}
+	return gomaxprocsSuffix.ReplaceAllString(f[0], ""), r, true
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchmerge:", err)
+	os.Exit(1)
+}

@@ -1,8 +1,10 @@
 #!/bin/sh
-# Full verification gate: tier-1 checks, the differential selector-
+# Full verification gate: tier-1 checks, the race detector over the
+# concurrent sweep engine and the harness that drives it, a two-config
+# sweep smoke run through the cmd/sweep CLI, the differential selector-
 # equivalence suite run twice (catching order- or state-dependent
 # divergence between the dense production selectors and their frozen
-# map-based references), and a short fuzz pass over both selector fuzz
+# map-based references), and a short fuzz pass over the selector fuzz
 # targets.
 #
 #   scripts/check.sh [fuzztime]
@@ -19,6 +21,14 @@ go build ./...
 go vet ./...
 go test ./...
 
+echo "== race detector: sweep engine + experiment harness =="
+go test -race ./internal/sweep/ ./internal/experiments/
+
+echo "== sweep smoke run (2 configs) =="
+go run ./cmd/sweep \
+    -grid 'workloads=gzip,vpr;selectors=net,lei;scale=40;cachelimit=0,400' \
+    -shards 2 -sink none
+
 echo "== differential equivalence (x2) =="
 go test -run Diff -count=2 ./internal/difftest/
 
@@ -27,6 +37,8 @@ if [ "$fuzztime" != "0" ]; then
     go test -run '^$' -fuzz '^FuzzNETSelect$' -fuzztime "$fuzztime" ./internal/difftest/
     echo "== fuzz: FuzzLEISelect ($fuzztime) =="
     go test -run '^$' -fuzz '^FuzzLEISelect$' -fuzztime "$fuzztime" ./internal/difftest/
+    echo "== fuzz: FuzzCombinedSelect ($fuzztime) =="
+    go test -run '^$' -fuzz '^FuzzCombinedSelect$' -fuzztime "$fuzztime" ./internal/difftest/
 fi
 
 echo "check.sh: all checks passed"
