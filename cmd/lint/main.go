@@ -1,0 +1,101 @@
+// Command lint runs the repo's invariant analyzers (hotpathalloc,
+// resetclean, densemap — see docs/LINTING.md) over the module and exits
+// non-zero on any diagnostic. scripts/check.sh runs it after tier-1.
+//
+// Usage:
+//
+//	go run ./cmd/lint [-json] [patterns...]
+//
+// Patterns default to ./... and accept ./dir and ./dir/... forms relative
+// to the module root. With -json, diagnostics are emitted as a JSON array
+// of {file, line, col, check, message} objects for tooling.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, module, err := lint.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	loader := lint.NewLoader(root, module)
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, Analyzers(module))
+	if *jsonOut {
+		type jsonDiag struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Check   string `json:"check"`
+			Message string `json:"message"`
+		}
+		out := []jsonDiag{}
+		for _, d := range diags {
+			file := d.Pos.Filename
+			if rel, err := filepath.Rel(root, file); err == nil {
+				file = filepath.ToSlash(rel)
+			}
+			out = append(out, jsonDiag{File: file, Line: d.Pos.Line, Col: d.Pos.Column, Check: d.Check, Message: d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String(root))
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "lint: %d diagnostic(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+// Analyzers returns the repo's analyzer set, configured for the module's
+// hot packages. The allowlisted files are the deliberately map-based
+// measured paths: RegionCFG (observed-trace overhead is a measured quantity,
+// Figure 18) and the §5 related-work baselines (BOA/WRS), which are
+// comparison selectors outside the pooled sweep loop.
+func Analyzers(module string) []*lint.Analyzer {
+	return []*lint.Analyzer{
+		lint.HotPathAlloc(),
+		lint.ResetClean(),
+		lint.DenseMap(lint.DenseMapConfig{
+			Packages: []string{
+				module + "/internal/vm",
+				module + "/internal/core",
+				module + "/internal/profile",
+				module + "/internal/metrics",
+				module + "/internal/codecache",
+				module + "/internal/sweep",
+			},
+			AllowFiles: []string{"regioncfg.go", "related.go"},
+		}),
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRepoLintClean runs the full analyzer suite over the module and fails
+// on any diagnostic, so a hot-path allocation, incomplete Reset, or sparse
+// map regression breaks plain `go test ./...` — not just scripts/check.sh.
+func TestRepoLintClean(t *testing.T) {
+	root, module, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.NewLoader(root, module).Load([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range lint.Run(pkgs, Analyzers(module)) {
+		t.Errorf("%s", d.String(root))
+	}
+}

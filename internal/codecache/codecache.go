@@ -119,9 +119,12 @@ type Region struct {
 	// ExecInstrs counts instructions executed inside the region.
 	ExecInstrs uint64
 
-	byStart      map[isa.Addr]int // block start -> index
-	blockByteOff []int            // byte offset of each block in the region image
-	blockBytes   []int            // encoded byte size of each block
+	// byStart maps block start -> index within this region only: a handful
+	// of entries, recycled with the region through the free list.
+	//lint:ignore densemap per-region block index, bounded by MaxTraceBlocks
+	byStart      map[isa.Addr]int
+	blockByteOff []int // byte offset of each block in the region image
+	blockBytes   []int // encoded byte size of each block
 }
 
 // BlockByteOffset returns the byte offset of block i within the region's
@@ -150,6 +153,8 @@ func (r *Region) Contains(addr isa.Addr) bool { return r.BlockIndex(addr) >= 0 }
 // It returns the next in-region block index when control stays inside the
 // region, with cycled set when the transfer is a taken branch back to the
 // region entry.
+//
+//lint:hotpath per-cached-block region walk
 func (r *Region) Advance(cur int, next isa.Addr, taken bool) (nextIdx int, stay, cycled bool) {
 	switch r.Kind {
 	case KindTrace:
@@ -218,6 +223,8 @@ type Cache struct {
 	// bounded configurations.
 	free []*Region
 	// seen is validate's duplicate-block scratch, reused across insertions.
+	//lint:keep validate's scratch; nil-checked and cleared before every use
+	//lint:ignore densemap per-insert duplicate set, bounded by MaxTraceBlocks
 	seen map[isa.Addr]bool
 }
 
@@ -275,6 +282,8 @@ func (c *Cache) Reset(p *program.Program, limitBytes int) {
 }
 
 // Lookup returns the region whose entry is addr.
+//
+//lint:hotpath per-block entry probe
 func (c *Cache) Lookup(addr isa.Addr) (*Region, bool) {
 	if int(addr) >= len(c.entries) {
 		return nil, false
@@ -287,6 +296,8 @@ func (c *Cache) Lookup(addr isa.Addr) (*Region, bool) {
 }
 
 // HasEntry reports whether addr begins a cached region.
+//
+//lint:hotpath per-block entry probe
 func (c *Cache) HasEntry(addr isa.Addr) bool {
 	return int(addr) < len(c.entries) && c.entries[addr].epoch == c.epoch
 }
@@ -322,12 +333,15 @@ func (c *Cache) newRegion() *Region {
 		*r = Region{Blocks: blocks, Succs: succs, blockByteOff: offs, blockBytes: bytes, byStart: byStart}
 		return r
 	}
+	//lint:ignore densemap per-region block index, bounded by MaxTraceBlocks
 	return &Region{byStart: make(map[isa.Addr]int)}
 }
 
 // Insert validates spec, computes its stub and size accounting, installs it,
 // and returns the new region. Inserting a region whose entry is already
 // cached is an error: the caller should have looked it up first.
+//
+//lint:hotpath steady-state insertions recycle pooled regions
 func (c *Cache) Insert(spec Spec) (*Region, error) {
 	if err := c.validate(spec); err != nil {
 		return nil, err
@@ -388,6 +402,7 @@ func (c *Cache) validate(spec Spec) error {
 		return fmt.Errorf("codecache: region with entry %d already cached", spec.Entry)
 	}
 	if c.seen == nil {
+		//lint:ignore densemap per-insert duplicate set, bounded by MaxTraceBlocks
 		c.seen = make(map[isa.Addr]bool, len(spec.Blocks))
 	} else {
 		clear(c.seen)
@@ -453,6 +468,8 @@ func (c *Cache) fillSuccs(r *Region, spec Spec) {
 // starting at tgt is covered by an in-region successor (so it needs no exit
 // stub or link). Succs lists are tiny — one or two entries — so a linear
 // scan beats building a set.
+//
+//lint:hotpath per-edge during analysis
 func (r *Region) InternalEdge(i int, tgt isa.Addr) bool {
 	for _, s := range r.Succs[i] {
 		if r.Blocks[s].Start == tgt {
@@ -472,6 +489,7 @@ func (c *Cache) countStubs(r *Region) int {
 	for i, b := range r.Blocks {
 		end := b.Start + isa.Addr(b.Len)
 		last := c.prog.At(end - 1)
+		//lint:ignore hotpathalloc non-escaping closure, stack-allocated (called directly below)
 		countDir := func(tgt isa.Addr) {
 			if !r.InternalEdge(i, tgt) {
 				stubs++
@@ -560,6 +578,7 @@ func (c *Cache) CountLinks() int {
 		for i, b := range r.Blocks {
 			end := b.Start + isa.Addr(b.Len)
 			last := c.prog.At(end - 1)
+			//lint:ignore hotpathalloc non-escaping closure, stack-allocated (called directly below)
 			countDir := func(tgt isa.Addr) {
 				if !r.InternalEdge(i, tgt) && c.HasEntry(tgt) && tgt != r.Entry {
 					links++

@@ -32,12 +32,18 @@ const (
 // after the same number of interpreted executions as under the base
 // algorithm, so T_start = baseThreshold − T_prof (35 for NET, 20 for LEI).
 type Combiner struct {
-	params   Params
+	params Params
+	// base picks the recording machinery; it is construction-time identity,
+	// not run state.
+	//lint:keep selector identity, set once by NewCombiner
 	base     BaseAlgorithm
 	tStart   int
 	counters *profile.CounterPool
 
-	// Observed-trace storage, per profiled target.
+	// Observed-trace storage, per profiled target. Observed memory is a
+	// measured quantity (Figure 18), so this path deliberately stays
+	// map-based and per-trace allocating; see docs/LINTING.md.
+	//lint:ignore densemap observed-trace storage is keyed by profiled heads only
 	observed   map[isa.Addr][]CompactTrace
 	curBytes   int
 	highBytes  int
@@ -46,13 +52,16 @@ type Combiner struct {
 
 	// NET base: in-flight tail recordings and targets awaiting their final
 	// recording before combination.
+	//lint:ignore densemap in-flight recordings are keyed by profiled heads only
 	recording map[isa.Addr]*tailRecorder
 	order     []isa.Addr
+	//lint:ignore densemap combining set is keyed by profiled heads only
 	combining map[isa.Addr]bool
 	pool      recorderPool
 
 	// LEI base.
-	buf     *profile.HistoryBuffer
+	buf *profile.HistoryBuffer
+	//lint:keep self-cleaning: begin() walks its touched list before reuse
 	scratch leiScratch
 }
 
@@ -60,11 +69,14 @@ type Combiner struct {
 func NewCombiner(base BaseAlgorithm, params Params) *Combiner {
 	params = params.withDefaults()
 	c := &Combiner{
-		params:    params,
-		base:      base,
-		counters:  profile.NewCounterPool(),
-		observed:  make(map[isa.Addr][]CompactTrace),
+		params:   params,
+		base:     base,
+		counters: profile.NewCounterPool(),
+		//lint:ignore densemap observed-trace storage is keyed by profiled heads only
+		observed: make(map[isa.Addr][]CompactTrace),
+		//lint:ignore densemap in-flight recordings are keyed by profiled heads only
 		recording: make(map[isa.Addr]*tailRecorder),
+		//lint:ignore densemap combining set is keyed by profiled heads only
 		combining: make(map[isa.Addr]bool),
 	}
 	switch base {

@@ -29,7 +29,8 @@ type LEI struct {
 	params   Params
 	buf      *profile.HistoryBuffer
 	counters *profile.CounterPool
-	scratch  leiScratch
+	//lint:keep self-cleaning: begin() walks its touched list before reuse
+	scratch leiScratch
 }
 
 // NewLEI returns an LEI selector with the given parameters.
@@ -67,6 +68,8 @@ func (l *LEI) Reset(params Params) {
 // for path reconstruction and skips profiling, and the jump into a newly
 // selected trace (line 15) is performed by the simulator, which re-checks
 // the cache after the selector runs.
+//
+//lint:hotpath per-interpreted-taken-branch
 func (l *LEI) Transfer(env Env, ev Event) {
 	if !ev.Taken {
 		return
@@ -81,6 +84,8 @@ func (l *LEI) Transfer(env Env, ev Event) {
 // CacheExit implements Selector: the stub transfer out of the code cache is
 // recorded and takes part in cycle detection, so an exit target can become
 // a trace head (Figure 5 line 9).
+//
+//lint:hotpath per-cache-exit
 func (l *LEI) CacheExit(env Env, src, tgt isa.Addr) {
 	l.observe(env, src, tgt, profile.KindExit)
 }
@@ -116,6 +121,8 @@ func leiCycle(buf *profile.HistoryBuffer, src, tgt isa.Addr, kind profile.EntryK
 }
 
 // leiCycleParams is leiCycle honoring the AblateLEIExitGrowth switch.
+//
+//lint:hotpath shared with the exported one-shot wrappers
 func leiCycleParams(buf *profile.HistoryBuffer, src, tgt isa.Addr, kind profile.EntryKind, params Params) (old uint64, qualified bool) {
 	seq := buf.Insert(src, tgt, kind)
 	old, ok := buf.Lookup(tgt)
@@ -190,6 +197,8 @@ func (sc *leiScratch) begin(addrSpace int) {
 // the returned spec.Blocks and outcomes then alias the scratch and are valid
 // only until the next formation (codecache.Insert and encodeTrace both copy,
 // so the selector flows consume them in time).
+//
+//lint:hotpath shared with the exported one-shot wrappers
 func formLEITrace(p *program.Program, cache *codecache.Cache, buf *profile.HistoryBuffer, start isa.Addr, old uint64, params Params, sc *leiScratch) (spec codecache.Spec, outcomes []obsBranch, formed bool) {
 	params = params.withDefaults()
 	if sc == nil {
@@ -199,6 +208,7 @@ func formLEITrace(p *program.Program, cache *codecache.Cache, buf *profile.Histo
 	instrs := 0
 	cyclic := false
 
+	//lint:ignore hotpathalloc non-escaping closure, stack-allocated (called directly in this frame)
 	appendRun := func(from, branchSrc isa.Addr) bool {
 		// Append the blocks executed linearly from 'from' through the
 		// block ending at branchSrc. Returns false when the trace must

@@ -31,9 +31,11 @@ type NET struct {
 	// exitThreshold optionally gives exit-stub targets a lower threshold
 	// than backward-branch targets, the Mojo variant discussed in §5.
 	// Zero means "same as NETThreshold".
+	//lint:keep variant configuration, fixed at construction (Reset keeps the variant)
 	exitThreshold int
 	exitTargets   []bool // dense address-indexed; nil unless the Mojo variant
-	mojo          bool
+	//lint:keep variant identity, fixed at construction (NewNET vs NewMojoNET)
+	mojo bool
 
 	pool recorderPool
 }
@@ -100,6 +102,8 @@ func (n *NET) Name() string {
 }
 
 // Transfer implements Selector.
+//
+//lint:hotpath per-interpreted-taken-branch
 func (n *NET) Transfer(env Env, ev Event) {
 	n.feedRecorders(env, ev)
 	if !ev.Taken || ev.ToCache {
@@ -113,6 +117,8 @@ func (n *NET) Transfer(env Env, ev Event) {
 // CacheExit implements Selector. The target of a trace exit is allowed to
 // begin a trace, so each exit to the interpreter counts an execution of its
 // target.
+//
+//lint:hotpath per-cache-exit
 func (n *NET) CacheExit(env Env, _, tgt isa.Addr) {
 	if n.mojo {
 		n.setExitTarget(tgt, true)

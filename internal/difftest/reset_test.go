@@ -1,0 +1,121 @@
+package difftest
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dynopt"
+	"repro/internal/program"
+	"repro/internal/workloads"
+)
+
+// resettableMaker builds one pooled selector per sweep shard. Every selector
+// the paper sweeps implements core.Resettable, and the sweep engine depends
+// on Reset leaving no trace of the previous run, so each maker is exercised
+// by the property test below.
+type resettableMaker struct {
+	name string
+	make func(params core.Params) core.Selector
+}
+
+func resettableMakers() []resettableMaker {
+	return []resettableMaker{
+		{"net", func(p core.Params) core.Selector { return core.NewNET(p) }},
+		{"mojo-net", func(p core.Params) core.Selector { return core.NewMojoNET(p, 2) }},
+		{"lei", func(p core.Params) core.Selector { return core.NewLEI(p) }},
+		{"net-combined", func(p core.Params) core.Selector { return core.NewCombiner(core.BaseNET, p) }},
+		{"lei-combined", func(p core.Params) core.Selector { return core.NewCombiner(core.BaseLEI, p) }},
+	}
+}
+
+// runOnce executes p under sel and returns the run result.
+func runOnce(t *testing.T, p *program.Program, sel core.Selector) dynopt.Result {
+	t.Helper()
+	res, err := dynopt.Run(p, dynopt.Config{Selector: sel})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	return res
+}
+
+// compareResults requires two runs to be observationally identical: same
+// metric report and same selected-region history.
+func compareResults(pooled, fresh dynopt.Result) error {
+	if pooled.Report != fresh.Report {
+		return fmt.Errorf("report divergence:\npooled: %+v\nfresh:  %+v", pooled.Report, fresh.Report)
+	}
+	return CompareCaches(pooled.Cache, fresh.Cache)
+}
+
+// resetProgram builds the seeded random program used by the Reset property
+// test.
+func resetProgram(seed int64) *program.Program {
+	return workloads.Random(workloads.GenConfig{
+		Seed:       seed,
+		Funcs:      int(seed % 4),
+		MaxDepth:   2,
+		Iters:      10 + int(seed%13),
+		Constructs: 3 + int(seed%3),
+	})
+}
+
+// TestResetMatchesFresh is the pooled-reuse property test: for every
+// Resettable selector, warming an instance on one random program, calling
+// Reset with new parameters, and re-running on a second random program must
+// be observationally identical to a fresh instance — same report, same
+// regions. A stale counter, history entry, or recorder surviving Reset shows
+// up as a divergence here.
+func TestResetMatchesFresh(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 12
+	}
+	for _, mk := range resettableMakers() {
+		t.Run(mk.name, func(t *testing.T) {
+			for seed := 0; seed < seeds; seed++ {
+				warmProg := resetProgram(int64(seed))
+				runProg := resetProgram(int64(seed) + 1000)
+				warmParams := RandomParams(int64(seed))
+				runParams := RandomParams(int64(seed) + 1000)
+
+				pooled := mk.make(warmParams)
+				r, ok := pooled.(core.Resettable)
+				if !ok {
+					t.Fatalf("%s does not implement core.Resettable", mk.name)
+				}
+				runOnce(t, warmProg, pooled)
+				r.Reset(runParams)
+				got := runOnce(t, runProg, pooled)
+
+				want := runOnce(t, runProg, mk.make(runParams))
+				if err := compareResults(got, want); err != nil {
+					t.Fatalf("seed %d: reset-then-reuse diverged from fresh: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// TestResetChain re-arms one pooled instance across a chain of runs with
+// varying programs and parameters — the sweep engine's actual usage pattern
+// — checking each leg against a fresh instance.
+func TestResetChain(t *testing.T) {
+	legs := 8
+	for _, mk := range resettableMakers() {
+		t.Run(mk.name, func(t *testing.T) {
+			pooled := mk.make(RandomParams(0))
+			r := pooled.(core.Resettable)
+			for leg := 0; leg < legs; leg++ {
+				p := resetProgram(int64(leg * 7))
+				params := RandomParams(int64(leg * 13))
+				r.Reset(params)
+				got := runOnce(t, p, pooled)
+				want := runOnce(t, p, mk.make(params))
+				if err := compareResults(got, want); err != nil {
+					t.Fatalf("leg %d: pooled chain diverged from fresh: %v", leg, err)
+				}
+			}
+		})
+	}
+}

@@ -173,6 +173,8 @@ func (s *Simulator) Fail(err error) { s.errs = append(s.errs, err) }
 
 // TakenBranch implements vm.Sink: execution ran linearly from the current
 // position through src, then transferred to tgt.
+//
+//lint:hotpath per-taken-branch selector event path
 func (s *Simulator) TakenBranch(src, tgt isa.Addr, kind vm.BranchKind) {
 	s.advanceTo(src)
 	s.transfer(src, tgt, true, kind)
@@ -184,6 +186,8 @@ func (s *Simulator) TakenBranch(src, tgt isa.Addr, kind vm.BranchKind) {
 // final instruction is the event's Src. Fall-through boundaries arrive
 // pre-resolved, so no block-table walking (advanceTo) is needed, and the
 // block length is a single subtraction.
+//
+//lint:hotpath batched block-event consumption
 func (s *Simulator) BlockBatch(events []vm.BlockEvent) {
 	for i := range events {
 		ev := &events[i]
@@ -292,6 +296,8 @@ func (s *Simulator) enter(r *codecache.Region) {
 }
 
 // finish accounts the final block, which ends with the halt instruction.
+//
+//lint:hotpath run epilogue shares the transfer path
 func (s *Simulator) finish(finalPC isa.Addr) {
 	for {
 		end := s.prog.BlockEnd(s.pos)

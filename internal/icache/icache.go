@@ -58,7 +58,9 @@ func (c Config) validate() error {
 
 // Cache is a set-associative instruction cache with LRU replacement.
 type Cache struct {
-	cfg      Config
+	//lint:keep geometry, fixed at construction; Reset clears contents only
+	cfg Config
+	//lint:keep geometry, derived from cfg at construction
 	sets     int
 	tags     []uint64 // sets*ways; 0 means empty (tags are addr|set+1)
 	lru      []uint64 // per-slot last-use tick

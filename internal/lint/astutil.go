@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// stackVisitor drives walkStack: it maintains the ancestor chain of the node
+// currently being visited.
+type stackVisitor struct {
+	stack []ast.Node
+	fn    func(n ast.Node, stack []ast.Node) bool
+}
+
+func (v *stackVisitor) Visit(n ast.Node) ast.Visitor {
+	if n == nil {
+		v.stack = v.stack[:len(v.stack)-1]
+		return nil
+	}
+	if !v.fn(n, v.stack) {
+		return nil
+	}
+	v.stack = append(v.stack, n)
+	return v
+}
+
+// walkStack walks root in depth-first order calling fn with each node and
+// the chain of its ancestors (outermost first, root's parent excluded).
+// Returning false from fn prunes the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	ast.Walk(&stackVisitor{fn: fn}, root)
+}
+
+// baseOfChain strips index, slice, star, and paren wrappers so that
+// m.buf[i:j] and (*p).x resolve to the selector or identifier underneath.
+func baseOfChain(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// builtinName returns the name of the predeclared builtin a call invokes, or
+// "" when the callee is not a builtin.
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// isTypeConversion reports whether a CallExpr is a type conversion rather
+// than a function call.
+func isTypeConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// ifGuardsLenCapNil reports whether an if statement's init or condition
+// involves len(), cap(), or a nil comparison — the shapes of growth guards,
+// lazy initialization, pool probes, and cold error handling.
+func ifGuardsLenCapNil(info *types.Info, ifs *ast.IfStmt) bool {
+	if ifs.Init != nil && mentionsLenCapNil(info, ifs.Init) {
+		return true
+	}
+	return mentionsLenCapNil(info, ifs.Cond)
+}
+
+// mentionsLenCapNil reports whether an expression or statement involves
+// len(), cap(), or a nil comparison.
+func mentionsLenCapNil(info *types.Info, cond ast.Node) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if name := builtinName(info, x); name == "len" || name == "cap" {
+				found = true
+			}
+		case *ast.BinaryExpr:
+			if isNilIdent(x.X) || isNilIdent(x.Y) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// returnsError reports whether the return statement carries a non-nil error
+// value — the shape of a cold failure path.
+func returnsError(info *types.Info, ret *ast.ReturnStmt) bool {
+	for _, res := range ret.Results {
+		if isNilIdent(res) {
+			continue
+		}
+		t := info.TypeOf(res)
+		if t == nil {
+			continue
+		}
+		if types.Implements(t, errorType) {
+			return true
+		}
+	}
+	return false
+}
+
+// isPanicCall reports whether the statement is a call to the builtin panic.
+func isPanicCall(info *types.Info, stmt ast.Stmt) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	return ok && builtinName(info, call) == "panic"
+}
+
+// blockStmts returns the statement list of a block-like node, or nil.
+func blockStmts(n ast.Node) []ast.Stmt {
+	switch x := n.(type) {
+	case *ast.BlockStmt:
+		return x.List
+	case *ast.CaseClause:
+		return x.Body
+	case *ast.CommClause:
+		return x.Body
+	}
+	return nil
+}

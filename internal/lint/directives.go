@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive verbs understood by the framework. The grammar is a comment of
+// the form
+//
+//	//lint:<verb> [args...]
+//
+// with three verbs:
+//
+//	//lint:hotpath                  — marks a function as a hot path root
+//	                                  (read by hotpathalloc from the doc
+//	                                  comment of a FuncDecl)
+//	//lint:keep <reason>            — marks a struct field as deliberately
+//	                                  surviving Reset (read by resetclean
+//	                                  from the field's doc or line comment)
+//	//lint:ignore <checks> <reason> — suppresses diagnostics of the named
+//	                                  check(s) (comma-separated) reported on
+//	                                  the directive's line or the line
+//	                                  directly below it
+const (
+	verbHotpath = "hotpath"
+	verbKeep    = "keep"
+	verbIgnore  = "ignore"
+)
+
+const directivePrefix = "//lint:"
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	checks []string
+	line   int
+	used   bool
+	pos    token.Position
+}
+
+// fileDirectives holds the suppression directives of one file plus any
+// malformed-directive diagnostics found while parsing them.
+type fileDirectives struct {
+	ignores   []*ignoreDirective
+	malformed []Diagnostic
+}
+
+// parseDirective splits a comment into its lint verb and argument string.
+// ok is false for comments that are not lint directives at all.
+func parseDirective(text string) (verb, args string, ok bool) {
+	rest, found := strings.CutPrefix(text, directivePrefix)
+	if !found {
+		return "", "", false
+	}
+	verb, args, _ = strings.Cut(rest, " ")
+	return verb, strings.TrimSpace(args), true
+}
+
+// hasDirective reports whether any comment in the group carries the verb.
+func hasDirective(group *ast.CommentGroup, verb string) bool {
+	if group == nil {
+		return false
+	}
+	for _, c := range group.List {
+		if v, _, ok := parseDirective(c.Text); ok && v == verb {
+			return true
+		}
+	}
+	return false
+}
+
+// keepReason returns the //lint:keep reason attached to a struct field via
+// its doc or trailing line comment. ok distinguishes "no directive" from an
+// empty reason.
+func keepReason(field *ast.Field) (reason string, ok bool) {
+	for _, group := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if group == nil {
+			continue
+		}
+		for _, c := range group.List {
+			if v, args, isDir := parseDirective(c.Text); isDir && v == verbKeep {
+				return args, true
+			}
+		}
+	}
+	return "", false
+}
+
+// parseFileDirectives scans every comment of a file for ignore directives
+// and validates directive well-formedness. Each //lint:ignore registers at
+// the line the comment sits on, suppressing diagnostics on that line and the
+// line below (so both trailing and preceding-line placement work).
+func parseFileDirectives(fset *token.FileSet, f *ast.File) *fileDirectives {
+	d := &fileDirectives{}
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			verb, args, ok := parseDirective(c.Text)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			switch verb {
+			case verbHotpath:
+				// No arguments required; trailing commentary is allowed.
+			case verbKeep:
+				if args == "" {
+					d.malformed = append(d.malformed, Diagnostic{
+						Check:   "lint",
+						Pos:     pos,
+						Message: "malformed //lint:keep: missing reason",
+					})
+				}
+			case verbIgnore:
+				checks, reason, _ := strings.Cut(args, " ")
+				if checks == "" || strings.TrimSpace(reason) == "" {
+					d.malformed = append(d.malformed, Diagnostic{
+						Check:   "lint",
+						Pos:     pos,
+						Message: "malformed //lint:ignore: want \"//lint:ignore <check>[,<check>] <reason>\"",
+					})
+					continue
+				}
+				d.ignores = append(d.ignores, &ignoreDirective{
+					checks: strings.Split(checks, ","),
+					line:   pos.Line,
+					pos:    pos,
+				})
+			default:
+				d.malformed = append(d.malformed, Diagnostic{
+					Check:   "lint",
+					Pos:     pos,
+					Message: "unknown directive //lint:" + verb + " (want hotpath, keep, or ignore)",
+				})
+			}
+		}
+	}
+	return d
+}
+
+// suppresses reports whether the directive covers a diagnostic of the given
+// check on the given line.
+func (ig *ignoreDirective) suppresses(check string, line int) bool {
+	if line != ig.line && line != ig.line+1 {
+		return false
+	}
+	for _, c := range ig.checks {
+		if c == check {
+			return true
+		}
+	}
+	return false
+}

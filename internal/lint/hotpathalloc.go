@@ -1,0 +1,432 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAlloc returns the hotpathalloc analyzer: inside functions annotated
+// //lint:hotpath — and transitively inside unexported same-package callees
+// that hot functions dominate (every in-package caller is hot and the
+// function is never used as a value) — it flags heap-allocating constructs:
+// map/slice literals, address-taken composite literals, un-hinted make and
+// non-reusing append, closures that capture variables, implicit conversions
+// of non-pointer values to interfaces, fmt calls, and string concatenation.
+//
+// Cold sub-paths are exempt: code guarded by a len/cap/nil condition (growth
+// and lazy-init), code inside or after a len/cap-guarded early return (pool
+// miss), and code on blocks that end by returning a non-nil error or
+// panicking.
+func HotPathAlloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotpathalloc",
+		Doc:  "flag heap-allocating constructs in //lint:hotpath functions and dominated callees",
+	}
+	a.Run = func(pass *Pass) { runHotPathAlloc(pass) }
+	return a
+}
+
+func runHotPathAlloc(pass *Pass) {
+	info := pass.Info
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+
+	// Build the in-package call graph, tracking function values used outside
+	// call position (those can be invoked from anywhere, so they cannot be
+	// dominated) and calls made outside any function declaration.
+	callers := map[*types.Func]map[*types.Func]bool{}
+	escaped := map[*types.Func]bool{}
+	calleeIdents := map[*ast.Ident]bool{}
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id := calleeIdent(call)
+			if id == nil {
+				return true
+			}
+			callee, ok := info.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			if _, inPkg := decls[callee]; !inPkg {
+				return true
+			}
+			calleeIdents[id] = true
+			caller := enclosingFuncDecl(info, stack)
+			if caller == nil {
+				escaped[callee] = true
+				return true
+			}
+			if callers[callee] == nil {
+				callers[callee] = map[*types.Func]bool{}
+			}
+			callers[callee][caller] = true
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || calleeIdents[id] {
+				return true
+			}
+			if fn, ok := info.Uses[id].(*types.Func); ok {
+				if _, inPkg := decls[fn]; inPkg {
+					escaped[fn] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Seed from annotations, then propagate hotness to dominated callees.
+	hot := map[*types.Func]bool{}
+	for fn, fd := range decls {
+		if hasDirective(fd.Doc, verbHotpath) {
+			hot[fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			if hot[fn] || escaped[fn] || ast.IsExported(fd.Name.Name) {
+				continue
+			}
+			nonSelf, all := 0, true
+			for c := range callers[fn] {
+				if c == fn {
+					continue
+				}
+				nonSelf++
+				if !hot[c] {
+					all = false
+				}
+			}
+			if nonSelf > 0 && all {
+				hot[fn] = true
+				changed = true
+			}
+		}
+	}
+
+	for fn, fd := range decls {
+		if hot[fn] {
+			checkHotFunc(pass, fn, fd)
+		}
+	}
+}
+
+// calleeIdent returns the identifier naming a call's callee (for plain and
+// selector calls), or nil.
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return id
+		}
+	}
+	return nil
+}
+
+// enclosingFuncDecl finds the function declaration an AST node sits in.
+func enclosingFuncDecl(info *types.Info, stack []ast.Node) *types.Func {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+// checkHotFunc walks one hot function body reporting allocation candidates
+// that no cold-path exemption covers.
+func checkHotFunc(pass *Pass, fn *types.Func, fd *ast.FuncDecl) {
+	info := pass.Info
+	declSig := fn.Type().(*types.Signature)
+	selfAppends := map[*ast.CallExpr]bool{}
+
+	report := func(n ast.Node, stack []ast.Node, format string, args ...any) {
+		if !coldExempt(info, n, stack) {
+			pass.Reportf(n.Pos(), format, args...)
+		}
+	}
+
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			switch info.TypeOf(x).Underlying().(type) {
+			case *types.Map:
+				report(x, stack, "map literal allocates on a hot path")
+			case *types.Slice:
+				report(x, stack, "slice literal allocates on a hot path")
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if lit, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					switch info.TypeOf(lit).Underlying().(type) {
+					case *types.Map, *types.Slice:
+						// Flagged at the literal itself.
+					default:
+						report(x, stack, "address-taken composite literal escapes to the heap on a hot path")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, x, stack, selfAppends, report)
+		case *ast.AssignStmt:
+			checkHotAssign(pass, x, stack, selfAppends, report)
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringType(info.TypeOf(x)) {
+				report(x, stack, "string concatenation allocates on a hot path")
+			}
+		case *ast.FuncLit:
+			if name := capturedVar(info, x); name != "" {
+				report(x, stack, "closure captures %q and may allocate on a hot path", name)
+			}
+		case *ast.ReturnStmt:
+			sig := declSig
+			for i := len(stack) - 1; i >= 0; i-- {
+				if lit, ok := stack[i].(*ast.FuncLit); ok {
+					if s, ok := info.TypeOf(lit).(*types.Signature); ok {
+						sig = s
+					}
+					break
+				}
+			}
+			if sig.Results().Len() == len(x.Results) {
+				for i, res := range x.Results {
+					checkIfaceConv(pass, res, sig.Results().At(i).Type(), stack)
+				}
+			}
+		case *ast.ValueSpec:
+			if x.Type != nil {
+				if t := info.TypeOf(x.Type); t != nil {
+					for _, v := range x.Values {
+						checkIfaceConv(pass, v, t, stack)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall handles the call-shaped candidates: make/new/append builtins,
+// fmt calls, and interface-boxing argument conversions.
+func checkHotCall(pass *Pass, call *ast.CallExpr, stack []ast.Node, selfAppends map[*ast.CallExpr]bool, report func(ast.Node, []ast.Node, string, ...any)) {
+	info := pass.Info
+	if isTypeConversion(info, call) {
+		return
+	}
+	switch builtinName(info, call) {
+	case "make":
+		report(call, stack, "make on a hot path without a len/cap growth guard")
+		return
+	case "new":
+		report(call, stack, "new allocates on a hot path")
+		return
+	case "append":
+		if !selfAppends[call] {
+			report(call, stack, "append result is not reassigned to its destination on a hot path")
+		}
+		return
+	case "":
+	default:
+		return
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkg, ok := info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+				report(call, stack, "fmt.%s allocates on a hot path", sel.Sel.Name)
+				return
+			}
+		}
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		checkIfaceConvAt(pass, arg, pt, stack)
+	}
+}
+
+// checkHotAssign records which appends reuse their destination and flags
+// string concatenation via += and interface-boxing plain assignments.
+func checkHotAssign(pass *Pass, as *ast.AssignStmt, stack []ast.Node, selfAppends map[*ast.CallExpr]bool, report func(ast.Node, []ast.Node, string, ...any)) {
+	info := pass.Info
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 && isStringType(info.TypeOf(as.Lhs[0])) {
+		report(as, stack, "string concatenation allocates on a hot path")
+		return
+	}
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, rhs := range as.Rhs {
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && builtinName(info, call) == "append" && len(call.Args) > 0 {
+				dst := types.ExprString(as.Lhs[i])
+				src := call.Args[0]
+				if se, ok := ast.Unparen(src).(*ast.SliceExpr); ok {
+					src = se.X
+				}
+				if types.ExprString(src) == dst {
+					selfAppends[call] = true
+				}
+			}
+			if as.Tok == token.ASSIGN {
+				checkIfaceConv(pass, rhs, info.TypeOf(as.Lhs[i]), stack)
+			}
+		}
+	}
+}
+
+// checkIfaceConv flags implicit conversions of non-pointer concrete values
+// to interface types — each one boxes its operand on the heap.
+func checkIfaceConv(pass *Pass, expr ast.Expr, target types.Type, stack []ast.Node) {
+	checkIfaceConvAt(pass, expr, target, stack)
+}
+
+func checkIfaceConvAt(pass *Pass, expr ast.Expr, target types.Type, stack []ast.Node) {
+	info := pass.Info
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value != nil { // constants are boxed from static data
+		return
+	}
+	t := tv.Type
+	if t == nil || types.IsInterface(t) {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Basic:
+		if b, ok := t.Underlying().(*types.Basic); !ok || b.Kind() == types.UntypedNil {
+			return
+		}
+	}
+	if coldExempt(info, expr, stack) {
+		return
+	}
+	pass.Reportf(expr.Pos(), "conversion of non-pointer %s to interface %s boxes on a hot path", t, target)
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// capturedVar returns the name of some variable a closure captures from an
+// enclosing function scope, or "" when the closure is capture-free.
+func capturedVar(info *types.Info, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the closure (params, locals)
+		}
+		if pkg := v.Pkg(); pkg != nil && v.Parent() == pkg.Scope() {
+			return true // package-level variable, not a capture
+		}
+		name = v.Name()
+		return false
+	})
+	return name
+}
+
+// coldExempt reports whether the candidate node sits on a cold sub-path of a
+// hot function: under a len/cap/nil-guarded branch, after a len/cap-guarded
+// early return, inside an error return, or in a block that unconditionally
+// ends by returning an error or panicking.
+func coldExempt(info *types.Info, n ast.Node, stack []ast.Node) bool {
+	childAt := func(i int) ast.Node {
+		if i+1 < len(stack) {
+			return stack[i+1]
+		}
+		return n
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch a := stack[i].(type) {
+		case *ast.ReturnStmt:
+			if returnsError(info, a) {
+				return true
+			}
+		case *ast.IfStmt:
+			child := childAt(i)
+			if (child == ast.Node(a.Body) || child == a.Else) && ifGuardsLenCapNil(info, a) {
+				return true
+			}
+		}
+		if stmts := blockStmts(stack[i]); len(stmts) > 0 {
+			last := stmts[len(stmts)-1]
+			if isPanicCall(info, last) {
+				return true
+			}
+			if ret, ok := last.(*ast.ReturnStmt); ok && returnsError(info, ret) {
+				return true
+			}
+			child := childAt(i)
+			for _, s := range stmts {
+				if ast.Node(s) == child {
+					break
+				}
+				if guardedEarlyReturn(info, s) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// guardedEarlyReturn matches the pool-hit shape: an if statement whose
+// condition involves len/cap/nil and whose body ends by returning — code
+// after it only runs on the miss path.
+func guardedEarlyReturn(info *types.Info, s ast.Stmt) bool {
+	ifs, ok := s.(*ast.IfStmt)
+	if !ok || !ifGuardsLenCapNil(info, ifs) || len(ifs.Body.List) == 0 {
+		return false
+	}
+	last := ifs.Body.List[len(ifs.Body.List)-1]
+	if _, ok := last.(*ast.ReturnStmt); ok {
+		return true
+	}
+	return isPanicCall(info, last)
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadFixtures loads fixture packages from testdata/src under the synthetic
+// module path "fix".
+func loadFixtures(t *testing.T, patterns ...string) (string, []*Package) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := NewLoader(root, "fix").Load(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root, pkgs
+}
+
+// wantRe matches the expectation comments in fixture files:
+//
+//	// want "message regexp"
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants scans fixture comments for expectations.
+func collectWants(t *testing.T, pkgs []*Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, group := range f.Comments {
+				for _, c := range group.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkWants verifies the diagnostics exactly match the fixture's want
+// comments: every diagnostic is expected on its line, every expectation is
+// satisfied.
+func checkWants(t *testing.T, root string, pkgs []*Package, diags []Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkgs)
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d.String(root))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+func TestHotPathAllocFixture(t *testing.T) {
+	root, pkgs := loadFixtures(t, "./hotalloc")
+	checkWants(t, root, pkgs, Run(pkgs, []*Analyzer{HotPathAlloc()}))
+}
+
+func TestResetCleanFixture(t *testing.T) {
+	root, pkgs := loadFixtures(t, "./resetpkg")
+	checkWants(t, root, pkgs, Run(pkgs, []*Analyzer{ResetClean()}))
+}
+
+func TestDenseMapFixture(t *testing.T) {
+	root, pkgs := loadFixtures(t, "./densepkg")
+	dm := DenseMap(DenseMapConfig{
+		Packages:   []string{"fix/densepkg"},
+		AllowFiles: []string{"allow.go"},
+	})
+	checkWants(t, root, pkgs, Run(pkgs, []*Analyzer{dm}))
+}
+
+// TestGoldenDiagnostics pins the exact formatted output — ordering by file,
+// line, column, and check, plus suppression — for a package with findings
+// from all three analyzers across two files.
+func TestGoldenDiagnostics(t *testing.T) {
+	root, pkgs := loadFixtures(t, "./golden")
+	analyzers := []*Analyzer{
+		HotPathAlloc(),
+		ResetClean(),
+		DenseMap(DenseMapConfig{Packages: []string{"fix/golden"}}),
+	}
+	var got []string
+	for _, d := range Run(pkgs, analyzers) {
+		got = append(got, d.String(root))
+	}
+	want := []string{
+		"golden/a.go:7:2: resetclean: field missing of G is not reset by (*G).Reset and not annotated //lint:keep",
+		"golden/a.go:7:10: densemap: map[int] state in hot package fix/golden; use a dense address-indexed slice (docs/LINTING.md)",
+		"golden/a.go:14:9: hotpathalloc: make on a hot path without a len/cap growth guard",
+		"golden/b.go:9:26: densemap: map[int] state in hot package fix/golden; use a dense address-indexed slice (docs/LINTING.md)",
+		"golden/b.go:10:9: hotpathalloc: make on a hot path without a len/cap growth guard",
+		"golden/b.go:10:14: densemap: map[int] state in hot package fix/golden; use a dense address-indexed slice (docs/LINTING.md)",
+		"golden/b.go:14:18: densemap: map[int] state in hot package fix/golden; use a dense address-indexed slice (docs/LINTING.md)",
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("golden mismatch:\ngot:\n  %s\nwant:\n  %s",
+			strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+	}
+}
+
+// TestMalformedDirectives verifies directive validation reports broken
+// annotations as diagnostics of check "lint".
+func TestMalformedDirectives(t *testing.T) {
+	root, pkgs := loadFixtures(t, "./badlint")
+	diags := Run(pkgs, nil)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 directive diagnostics, got %d: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Check != "lint" {
+			t.Errorf("want check %q, got %s", "lint", d.String(root))
+		}
+	}
+	if !strings.Contains(diags[0].Message, "malformed //lint:ignore") {
+		t.Errorf("diag 0: %s", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, "unknown directive //lint:frobnicate") {
+		t.Errorf("diag 1: %s", diags[1].Message)
+	}
+}

@@ -1,0 +1,14 @@
+// Package badlint exercises directive validation: malformed and unknown
+// directives are themselves diagnostics of check "lint".
+package badlint
+
+//lint:ignore densemap
+var x map[int]int
+
+//lint:frobnicate yes
+var y int
+
+var (
+	_ = x
+	_ = y
+)

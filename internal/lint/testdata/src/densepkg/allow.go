@@ -1,0 +1,7 @@
+package densepkg
+
+// This file is allowlisted in the test's DenseMapConfig, so its maps are
+// not reported.
+var allowed map[int]string
+
+var _ = allowed

@@ -1,0 +1,30 @@
+// Package densepkg is the densemap fixture: integer-underlying map keys are
+// flagged in configured hot packages, string keys and allowlisted files are
+// not, and //lint:ignore suppresses single sites.
+package densepkg
+
+// Addr mirrors isa.Addr: a named type with integer underlying type.
+type Addr uint32
+
+type table struct {
+	byAddr map[Addr]int // want "map.fix/densepkg.Addr. state in hot package"
+	byName map[string]int
+}
+
+func newTable() *table {
+	return &table{
+		byAddr: make(map[Addr]int), // want "map.fix/densepkg.Addr. state in hot package"
+		byName: make(map[string]int),
+	}
+}
+
+//lint:ignore densemap fixture demonstrates preceding-line suppression
+var quiet map[int]bool
+
+var quiet2 map[uint16]string //lint:ignore densemap fixture demonstrates same-line suppression
+
+var (
+	_ = newTable
+	_ = quiet
+	_ = quiet2
+)

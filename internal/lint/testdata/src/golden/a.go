@@ -1,0 +1,15 @@
+// Package golden pins diagnostic ordering and suppression for the golden
+// test: findings from three analyzers across two files, sorted by file,
+// line, column, and check.
+package golden
+
+type G struct {
+	missing map[int]int
+}
+
+func (g *G) Reset() {}
+
+//lint:hotpath
+func HotA(n int) []int {
+	return make([]int, n)
+}

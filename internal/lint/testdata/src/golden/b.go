@@ -1,0 +1,14 @@
+package golden
+
+//lint:hotpath
+func HotB(n int) []int {
+	//lint:ignore hotpathalloc suppressed in the golden output
+	return make([]int, n)
+}
+
+func unsuppressed(n int) map[int]int {
+	return make(map[int]int, n)
+}
+
+//lint:hotpath
+func HotC(n int) map[int]int { return unsuppressed(n) }

@@ -1,0 +1,85 @@
+// Package hotalloc is the hotpathalloc fixture: every construct the
+// analyzer flags, the cold-path exemptions, domination propagation, and
+// directive suppression.
+package hotalloc
+
+import "fmt"
+
+type sink struct{ vals []int }
+
+// Hot is an annotated root: every allocating construct below must be
+// reported.
+//
+//lint:hotpath
+func Hot(s *sink, n int) {
+	m := map[int]int{} // want "map literal allocates"
+	_ = m
+	sl := []int{1, 2, 3} // want "slice literal allocates"
+	_ = sl
+	buf := make([]byte, n) // want "make on a hot path"
+	_ = buf
+	s.vals = append(s.vals, n) // reuse-append: no finding
+	other := append(s.vals, n) // want "append result is not reassigned"
+	_ = other
+	msg := fmt.Sprintf("n=%d", n) // want "fmt.Sprintf allocates"
+	msg += "!"                    // want "string concatenation allocates"
+	_ = msg
+	p := &sink{} // want "address-taken composite literal"
+	_ = p
+	q := new(sink) // want "new allocates"
+	_ = q
+	f := func() int { return n } // want "closure captures .n. and may allocate"
+	_ = f()
+	box(n) // want "conversion of non-pointer int"
+	box(s) // pointer conversion: no finding
+	helper(s)
+	Exported(s)
+}
+
+func box(v any) { _ = v }
+
+// helper is unexported and every caller (Hot) is hot, so hotness propagates
+// and its allocation is reported without an annotation.
+func helper(s *sink) {
+	s.vals = make([]int, 8) // want "make on a hot path"
+}
+
+// Exported is never dominated — external callers may be cold — so its
+// allocation is not reported.
+func Exported(s *sink) {
+	s.vals = make([]int, 8)
+}
+
+// Suppressed demonstrates //lint:ignore on a true positive.
+//
+//lint:hotpath
+func Suppressed(n int) []int {
+	//lint:ignore hotpathalloc fixture demonstrates suppression
+	return make([]int, n)
+}
+
+// Guarded demonstrates the growth-guard and pool-miss exemptions.
+//
+//lint:hotpath
+func Guarded(s *sink, n int) *sink {
+	if n >= len(s.vals) {
+		grown := make([]int, n+1) // len-guarded growth: no finding
+		copy(grown, s.vals)
+		s.vals = grown
+	}
+	if len(s.vals) > 0 {
+		return s
+	}
+	return &sink{vals: make([]int, 1)} // after a len-guarded return: no finding
+}
+
+// escaped is used as a value below, so domination can never be proven and
+// its allocation is not reported even though its only caller is hot.
+func escaped() []int { return make([]int, 4) }
+
+//lint:hotpath
+func CallsEscaped() []int { return escaped() }
+
+var hook = escaped
+
+var _ = hook

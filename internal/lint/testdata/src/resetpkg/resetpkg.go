@@ -1,0 +1,59 @@
+// Package resetpkg is the resetclean fixture: a missed field, a
+// //lint:keep annotation, whole-struct stores, delegation through method
+// calls and call arguments, and directive suppression.
+package resetpkg
+
+// Pool misses one field in Reset (a true positive) and keeps another by
+// annotation.
+type Pool struct {
+	a int
+	b []byte
+	//lint:keep capacity hint, deliberately reused across generations
+	capHint int
+	stale   map[string]int // want "field stale of Pool is not reset"
+}
+
+func (p *Pool) Reset() {
+	p.a = 0
+	p.b = p.b[:0]
+}
+
+// Whole resets via a whole-struct store, which covers every field.
+type Whole struct {
+	x, y int
+}
+
+func (w *Whole) Reset() { *w = Whole{} }
+
+// inner's own Reset is also checked (and is clean).
+type inner struct{ n int }
+
+func (s *inner) Reset() { s.n = 0 }
+
+// Outer delegates one field's reset to a method call and one to a builtin
+// call argument.
+type Outer struct {
+	sub  inner
+	m    map[string]bool
+	tick int
+}
+
+func (o *Outer) Reset() {
+	o.sub.Reset()
+	clear(o.m)
+	o.tick = 0
+}
+
+// Quiet demonstrates //lint:ignore on a true positive.
+type Quiet struct {
+	//lint:ignore resetclean fixture demonstrates suppression
+	leftover int
+}
+
+func (q *Quiet) Reset() {}
+
+// ByValue has a value receiver, which cannot reset the pooled instance;
+// the analyzer does not model it.
+type ByValue struct{ n int }
+
+func (b ByValue) Reset() {}

@@ -34,6 +34,7 @@ func WriteRegionGraphDOT(w io.Writer, cache *codecache.Cache, col *Collector) er
 	}
 	for _, r := range cache.Regions() {
 		for i, b := range r.Blocks {
+			//lint:ignore densemap one-shot DOT rendering, not a hot path
 			internal := map[isa.Addr]bool{}
 			for _, s := range r.Succs[i] {
 				internal[r.Blocks[s].Start] = true

@@ -83,6 +83,8 @@ func (c *Collector) Reset() {
 }
 
 // Block records the completed execution of a block of n instructions.
+//
+//lint:hotpath per-block collection
 func (c *Collector) Block(n int, inCache bool) {
 	c.TotalInstrs += uint64(n)
 	if inCache {
@@ -92,6 +94,8 @@ func (c *Collector) Block(n int, inCache bool) {
 
 // Edge records one execution of the control-flow edge between two block
 // leaders.
+//
+//lint:hotpath per-edge collection
 func (c *Collector) Edge(from, to isa.Addr) {
 	if int(from) >= len(c.edges) {
 		n := int(from) + 1
@@ -109,10 +113,13 @@ func (c *Collector) Edge(from, to isa.Addr) {
 			return
 		}
 	}
+	//lint:ignore hotpathalloc appends to the local alias of c.edges[from]; cells are kept by Reset, so steady state never grows (TestShardSteadyStateAllocFree)
 	c.edges[from] = append(cells, edgeCell{to: to, n: 1})
 }
 
 // Transition records one region transition between cache-layout addresses.
+//
+//lint:hotpath per-region-transition collection
 func (c *Collector) Transition(fromAddr, toAddr int) {
 	c.Transitions++
 	if fromAddr/codecache.PageBytes != toAddr/codecache.PageBytes {
@@ -140,7 +147,10 @@ func (c *Collector) EdgeCount(from, to isa.Addr) uint64 {
 
 // PredsOf returns the distinct executed predecessor leaders for each block
 // leader.
+//
+//lint:ignore densemap one-shot compatibility API; Analyzer.buildPreds is the dense pooled path
 func (c *Collector) PredsOf() map[isa.Addr][]isa.Addr {
+	//lint:ignore densemap one-shot compatibility API; Analyzer.buildPreds is the dense pooled path
 	preds := make(map[isa.Addr][]isa.Addr)
 	for from, cells := range c.edges {
 		for _, cell := range cells {
@@ -249,6 +259,8 @@ func (a *Analyzer) Analyze(cache *codecache.Cache, col *Collector, selStats core
 // buildPreds fills the dense predecessor table from the collector's edge
 // counts. Iterating sources in ascending address order yields each target's
 // predecessor list already sorted, matching PredsOf.
+//
+//lint:hotpath pooled analysis (TestPooledAnalyzeAllocFree)
 func (a *Analyzer) buildPreds(col *Collector) {
 	for _, to := range a.predsHot {
 		a.preds[to] = a.preds[to][:0]
@@ -271,6 +283,8 @@ func (a *Analyzer) buildPreds(col *Collector) {
 }
 
 // coverSet is CoverSet over the analyzer's pooled ordering buffer.
+//
+//lint:hotpath pooled analysis (TestPooledAnalyzeAllocFree)
 func (a *Analyzer) coverSet(regions []*codecache.Region, totalInstrs uint64, frac float64) (int, bool) {
 	a.byExec = append(a.byExec[:0], regions...)
 	slices.SortFunc(a.byExec, func(x, y *codecache.Region) int {
@@ -304,6 +318,8 @@ func (a *Analyzer) coverSet(regions []*codecache.Region, totalInstrs uint64, fra
 
 // exitDomination is AnalyzeExitDomination over the pooled predecessor table,
 // without recording the dominator pairs.
+//
+//lint:hotpath pooled analysis (TestPooledAnalyzeAllocFree)
 func (a *Analyzer) exitDomination(regions []*codecache.Region) (dominated, dupInstrs int) {
 	for _, s := range regions {
 		a.outside = a.outside[:0]

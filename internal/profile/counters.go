@@ -59,6 +59,8 @@ func (p *CounterPool) EnsureCap(n int) {
 
 // Incr increments the counter for addr, allocating it at zero first if
 // needed, and returns the new value.
+//
+//lint:hotpath per-profiled-branch counter bump
 func (p *CounterPool) Incr(addr isa.Addr) int {
 	p.grow(addr)
 	if !p.present[addr] {
@@ -83,6 +85,8 @@ func (p *CounterPool) Get(addr isa.Addr) int {
 
 // Release recycles the counter for addr, making its memory available for
 // another branch target. Releasing an absent counter is a no-op.
+//
+//lint:hotpath counter release on selection
 func (p *CounterPool) Release(addr isa.Addr) {
 	if int(addr) >= len(p.counters) || !p.present[addr] {
 		return

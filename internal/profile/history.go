@@ -56,6 +56,7 @@ type HistoryEntry struct {
 // Cells store seq+1 so the zero value means "absent" and the table can be
 // grown (or pre-sized via EnsureAddrCap) without initialization.
 type HistoryBuffer struct {
+	//lint:keep ring storage; first/next make all slots logically absent after Reset
 	slots   []HistoryEntry
 	hash    []uint64 // target -> seq+1 of most recent occurrence (0 = none)
 	first   uint64   // seq of oldest resident entry
@@ -81,6 +82,7 @@ func (b *HistoryBuffer) EnsureAddrCap(n int) {
 	if n <= len(b.hash) {
 		return
 	}
+	//lint:ignore hotpathalloc growth path; the len guard lives in the caller SetHash and pre-sized buffers never reach it
 	grown := make([]uint64, n)
 	copy(grown, b.hash)
 	b.hash = grown
@@ -101,6 +103,8 @@ func (b *HistoryBuffer) slot(seq uint64) *HistoryEntry {
 
 // Insert appends a taken transfer to the buffer, evicting the oldest entry
 // when full, and returns the new entry's position.
+//
+//lint:hotpath per-taken-branch under LEI
 func (b *HistoryBuffer) Insert(src, tgt isa.Addr, kind EntryKind) uint64 {
 	b.inserts++
 	if b.next-b.first == uint64(len(b.slots)) {
@@ -125,6 +129,8 @@ func (b *HistoryBuffer) resident(seq uint64) bool { return seq >= b.first && seq
 // strictly before the last inserted entry, mirroring Figure 5 line 6: the
 // hash is consulted after the new branch has been inserted, so a hit means
 // the target completed a cycle.
+//
+//lint:hotpath per-taken-branch under LEI
 func (b *HistoryBuffer) Lookup(tgt isa.Addr) (uint64, bool) {
 	if int(tgt) >= len(b.hash) {
 		return 0, false
@@ -151,6 +157,8 @@ func (b *HistoryBuffer) Lookup(tgt isa.Addr) (uint64, bool) {
 
 // SetHash points the hash at position seq for target tgt (Figure 5 lines 8
 // and 17).
+//
+//lint:hotpath per-taken-branch under LEI
 func (b *HistoryBuffer) SetHash(tgt isa.Addr, seq uint64) {
 	if int(tgt) >= len(b.hash) {
 		b.growHash(tgt)
@@ -165,6 +173,7 @@ func (b *HistoryBuffer) growHash(tgt isa.Addr) {
 	if n < 2*len(b.hash) {
 		n = 2 * len(b.hash)
 	}
+	//lint:ignore hotpathalloc growth path; the len guard lives in the caller SetHash and pre-sized buffers never reach it
 	grown := make([]uint64, n)
 	copy(grown, b.hash)
 	b.hash = grown
@@ -198,6 +207,8 @@ func (b *HistoryBuffer) After(seq uint64) []HistoryEntry {
 // dst, oldest first, and returns the extended slice. It is the allocation-free
 // variant of After for callers that keep a reusable scratch slice. seq must
 // be resident.
+//
+//lint:hotpath trace formation under LEI
 func (b *HistoryBuffer) AppendAfter(seq uint64, dst []HistoryEntry) []HistoryEntry {
 	if !b.resident(seq) {
 		panic("profile: stale history position")

@@ -130,6 +130,8 @@ func (s *Shard) selector(name string, params core.Params) (core.Selector, error)
 // Run executes one job on the shard. The program must be the built form of
 // job.Workload at job.Scale; it is read-only during the run and may be
 // shared across shards.
+//
+//lint:hotpath steady-state shard job loop (TestShardSteadyStateAllocFree)
 func (s *Shard) Run(p *program.Program, job Job) (metrics.Report, error) {
 	sel, err := s.selector(job.Selector, job.Params)
 	if err != nil {
@@ -360,6 +362,7 @@ func (e *engine) stealLargest(id int) (lo, hi int, ok bool) {
 	}
 }
 
+//lint:hotpath per-job engine loop
 func (e *engine) process(i int, shard *Shard) {
 	job := e.jobs[i]
 	p, err := e.progs.get(job.Workload, job.Scale)

@@ -165,13 +165,17 @@ const opPastEnd isa.Opcode = 0xFF
 // Machine is a reusable interpreter instance. The zero value must be
 // loaded with Load before use; New combines allocation and loading.
 type Machine struct {
-	prog  *program.Program
-	cfg   Config
-	regs  [isa.NumRegs]int64
-	mem   []int64
-	ras   []isa.Addr   // return-address stack
-	code  []pInstr     // predecoded program plus the opPastEnd sentinel
-	batch []BlockEvent // reusable block-event buffer for BlockSink delivery
+	//lint:keep program identity, replaced by Load; Reset reuses the loaded program
+	prog *program.Program
+	//lint:keep configuration, replaced by Load
+	cfg  Config
+	regs [isa.NumRegs]int64
+	mem  []int64
+	ras  []isa.Addr // return-address stack
+	//lint:keep predecode of prog, replaced by Load
+	code []pInstr
+	//lint:keep reusable block-event buffer, parked empty by Run's finishBatch
+	batch []BlockEvent
 
 	// dirtyLo/dirtyHi bound the words of mem written since the last Reset
 	// (inclusive; lo > hi means none). Memory outside the range is
@@ -288,6 +292,8 @@ func (m *Machine) wrap(i int64) int64 {
 // guarantees they are block leaders), so only dynamic targets pay a
 // validity check, and the fall-off-the-end case is caught by the sentinel
 // instruction rather than a per-step bounds test.
+//
+//lint:hotpath interpreter dispatch loop
 func (m *Machine) Run(sink Sink) (Stats, error) {
 	var st Stats
 	pc := m.prog.Entry()

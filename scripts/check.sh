@@ -1,5 +1,6 @@
 #!/bin/sh
-# Full verification gate: tier-1 checks, the race detector over the
+# Full verification gate: tier-1 checks, the repo-invariant lint suite
+# (cmd/lint; see docs/LINTING.md), the race detector over the
 # concurrent sweep engine and the harness that drives it, a two-config
 # sweep smoke run through the cmd/sweep CLI, the differential selector-
 # equivalence suite run twice (catching order- or state-dependent
@@ -20,6 +21,9 @@ echo "== tier-1: build, vet, test =="
 go build ./...
 go vet ./...
 go test ./...
+
+echo "== lint: hotpathalloc, resetclean, densemap (docs/LINTING.md) =="
+go run ./cmd/lint ./...
 
 echo "== race detector: sweep engine + experiment harness =="
 go test -race ./internal/sweep/ ./internal/experiments/
