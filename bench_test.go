@@ -22,6 +22,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/metrics"
 	"repro/internal/profile"
+	"repro/internal/program"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/vm"
@@ -458,6 +459,66 @@ func BenchmarkExtraFigures(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkCombine measures the end-to-end trace-combination path — compact
+// observed-trace recording (Figure 14), region-CFG construction, and
+// multipath promotion (Figure 13) — for both combining selectors on a pooled
+// shard, the configuration the sweep engine runs. The micro sub-benchmarks
+// run the full SPEC-named suite; the synthetic ones run the large seeded
+// stress program. Normalized throughput and allocation pressure are recorded
+// in BENCH_pipeline.json via scripts/bench.sh.
+func BenchmarkCombine(b *testing.B) {
+	const synthScale = 200_000
+	type combineJob struct {
+		prog *program.Program
+		job  sweep.Job
+	}
+	suites := []struct {
+		name string
+		jobs []combineJob
+	}{
+		{name: "micro"},
+		{name: "synthetic"},
+	}
+	for _, w := range workloads.SpecNames() {
+		suites[0].jobs = append(suites[0].jobs, combineJob{
+			prog: workloads.MustGet(w).Build(benchScale),
+			job:  sweep.Job{Workload: w, Scale: benchScale},
+		})
+	}
+	suites[1].jobs = append(suites[1].jobs, combineJob{
+		prog: workloads.MustGet("synthetic").Build(synthScale),
+		job:  sweep.Job{Workload: "synthetic", Scale: synthScale},
+	})
+	for _, sel := range []string{sweep.NETComb, sweep.LEIComb} {
+		for _, suite := range suites {
+			b.Run(sel+"/"+suite.name, func(b *testing.B) {
+				shard := sweep.NewShard()
+				var ms0, ms1 runtime.MemStats
+				var instrs uint64
+				runtime.ReadMemStats(&ms0)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					instrs = 0
+					for _, cj := range suite.jobs {
+						job := cj.job
+						job.Selector = sel
+						job.Params = core.DefaultParams()
+						rep, err := shard.Run(cj.prog, job)
+						if err != nil {
+							b.Fatal(err)
+						}
+						instrs += rep.TotalInstrs
+					}
+				}
+				b.StopTimer()
+				runtime.ReadMemStats(&ms1)
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(instrs*uint64(b.N)), "ns/instr")
+				b.ReportMetric(float64(ms1.TotalAlloc-ms0.TotalAlloc)/float64(instrs*uint64(b.N)), "B/instr")
+			})
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/codecache"
 	"repro/internal/isa"
 	"repro/internal/profile"
 )
@@ -40,11 +41,22 @@ type Combiner struct {
 	tStart   int
 	counters *profile.CounterPool
 
-	// Observed-trace storage, per profiled target. Observed memory is a
-	// measured quantity (Figure 18), so this path deliberately stays
-	// map-based and per-trace allocating; see docs/LINTING.md.
+	// Observed-trace storage, per profiled target: compact encodings live
+	// back to back in a grow-only arena and each head keeps a list of spans
+	// into it, recycled through spanFree when finalize releases the head.
+	// Observed memory stays a measured quantity (Figure 18) — the accounting
+	// below counts encoded bytes, which arena storage leaves unchanged.
 	//lint:ignore densemap observed-trace storage is keyed by profiled heads only
-	observed   map[isa.Addr][]CompactTrace
+	observed map[isa.Addr][]traceSpan
+	arena    traceArena
+	spanFree [][]traceSpan // recycled per-head span lists, all length 0
+
+	// cfg and decBlocks are the combination scratch: one pooled RegionCFG
+	// re-armed per finalize and one decode buffer threaded through
+	// CompactTrace.DecodeInto.
+	//lint:keep self-cleaning: finalize re-arms it via Reset(head) before use
+	cfg        RegionCFG
+	decBlocks  []codecache.BlockSpec
 	curBytes   int
 	highBytes  int
 	nObserved  uint64
@@ -73,7 +85,7 @@ func NewCombiner(base BaseAlgorithm, params Params) *Combiner {
 		base:     base,
 		counters: profile.NewCounterPool(),
 		//lint:ignore densemap observed-trace storage is keyed by profiled heads only
-		observed: make(map[isa.Addr][]CompactTrace),
+		observed: make(map[isa.Addr][]traceSpan),
 		//lint:ignore densemap in-flight recordings are keyed by profiled heads only
 		recording: make(map[isa.Addr]*tailRecorder),
 		//lint:ignore densemap combining set is keyed by profiled heads only
@@ -114,6 +126,8 @@ func (c *Combiner) Preallocate(addrSpace int) {
 }
 
 // Transfer implements Selector.
+//
+//lint:hotpath per-interpreted-taken-branch
 func (c *Combiner) Transfer(env Env, ev Event) {
 	if c.base == BaseNET {
 		c.feedRecorders(env, ev)
@@ -129,6 +143,8 @@ func (c *Combiner) Transfer(env Env, ev Event) {
 }
 
 // CacheExit implements Selector.
+//
+//lint:hotpath per-cache-exit
 func (c *Combiner) CacheExit(env Env, src, tgt isa.Addr) {
 	if c.base == BaseNET {
 		c.qualifyNET(env, Event{Tgt: tgt, Taken: true})
@@ -181,8 +197,8 @@ func (c *Combiner) feedRecorders(env Env, ev Event) {
 			continue
 		}
 		delete(c.recording, head)
-		c.store(head, encodeTrace(r.branches, r.lastAddr))
-		c.pool.put(r) // encodeTrace copied the outcomes; the recorder is free
+		c.store(head, r.branches, r.lastAddr)
+		c.pool.put(r) // store encoded the outcomes into the arena; the recorder is free
 		if c.combining[head] {
 			c.finalize(env, head)
 		}
@@ -219,7 +235,7 @@ func (c *Combiner) observeLEI(env Env, src, tgt isa.Addr, kind profile.EntryKind
 	if spec, outcomes, formed := formLEITrace(env.Program(), env.Cache(), c.buf, tgt, old, c.params, &c.scratch); formed {
 		lastBlock := spec.Blocks[len(spec.Blocks)-1]
 		lastAddr := lastBlock.Start + isa.Addr(lastBlock.Len) - 1
-		c.store(tgt, encodeTrace(outcomes, lastAddr))
+		c.store(tgt, outcomes, lastAddr)
 	}
 	if n >= c.tStart+c.params.TProf {
 		c.counters.Release(tgt)
@@ -228,11 +244,19 @@ func (c *Combiner) observeLEI(env Env, src, tgt isa.Addr, kind profile.EntryKind
 	}
 }
 
-// store records one observed trace for the target and maintains the
-// Figure 18 memory accounting.
-func (c *Combiner) store(tgt isa.Addr, ct CompactTrace) {
-	c.observed[tgt] = append(c.observed[tgt], ct)
-	c.curBytes += ct.Bytes()
+// store encodes one observed trace into the arena, records its span under
+// the target, and maintains the Figure 18 memory accounting (the encoded
+// byte count, which arena storage leaves unchanged).
+func (c *Combiner) store(tgt isa.Addr, branches []obsBranch, lastAddr isa.Addr) {
+	s := c.arena.add(branches, lastAddr)
+	if len(c.observed[tgt]) == 0 {
+		if n := len(c.spanFree); n > 0 {
+			c.observed[tgt] = c.spanFree[n-1]
+			c.spanFree = c.spanFree[:n-1]
+		}
+	}
+	c.observed[tgt] = append(c.observed[tgt], s)
+	c.curBytes += s.bytes()
 	if c.curBytes > c.highBytes {
 		c.highBytes = c.curBytes
 	}
@@ -244,19 +268,27 @@ func (c *Combiner) finalize(env Env, head isa.Addr) {
 	delete(c.combining, head)
 	traces := c.observed[head]
 	delete(c.observed, head)
-	for _, t := range traces {
-		c.curBytes -= t.Bytes()
+	for _, s := range traces {
+		c.curBytes -= s.bytes()
+	}
+	if cap(traces) > 0 {
+		// Recycle the span list for the next profiled head. The spans stay
+		// readable through the decode loop below: recycling only truncates
+		// the list, and reuse cannot happen before the next store.
+		c.spanFree = append(c.spanFree, traces[:0])
 	}
 	if len(traces) == 0 {
 		return
 	}
-	g := NewRegionCFG(head)
-	for _, ct := range traces {
-		blocks, closing, hasClosing, err := ct.Decode(env.Program(), head)
+	g := &c.cfg
+	g.Reset(head)
+	for _, s := range traces {
+		blocks, closing, hasClosing, err := c.arena.trace(s).DecodeInto(env.Program(), head, c.decBlocks)
 		if err != nil {
 			env.Fail(errors.Join(fmt.Errorf("combiner: decoding observed trace at %d", head), err))
 			return
 		}
+		c.decBlocks = blocks
 		if len(blocks) == 0 {
 			continue
 		}
@@ -289,9 +321,10 @@ func (c *Combiner) finalize(env Env, head isa.Addr) {
 }
 
 // Reset implements Resettable: it re-arms the selector for a fresh run with
-// new parameters, recycling in-flight recorders and keeping the counter
-// table, the history buffer (reallocated only when HistoryCap changes), the
-// trace-formation scratch, and the map buckets.
+// new parameters, recycling in-flight recorders and span lists and keeping
+// the counter table, the history buffer (reallocated only when HistoryCap
+// changes), the trace-formation and combination scratch, the observed-trace
+// arena capacity, and the map buckets.
 func (c *Combiner) Reset(params Params) {
 	params = params.withDefaults()
 	c.params = params
@@ -306,7 +339,15 @@ func (c *Combiner) Reset(params Params) {
 		c.tStart = 1
 	}
 	c.counters.Reset()
+	for _, l := range c.observed {
+		if cap(l) > 0 {
+			c.spanFree = append(c.spanFree, l[:0])
+		}
+	}
 	clear(c.observed)
+	c.arena.reset()
+	c.cfg.Reset(0)
+	c.decBlocks = c.decBlocks[:0]
 	for _, r := range c.recording {
 		c.pool.put(r)
 	}

@@ -36,12 +36,20 @@ const (
 // uses the native pointer size (32 or 64 bits); our ISA addresses fit 32.
 const addrBits = 32
 
-// EncodeTrace builds the compact representation of a recorded path
-// (COMPACT-TRACE of Figure 14). head is the trace entry; branches are the
-// branch outcomes along the path in order; lastAddr is the address of the
-// final instruction.
+// encodeTrace builds the compact representation of a recorded path
+// (COMPACT-TRACE of Figure 14) in a freshly allocated bit string. The
+// steady-state path is encodeInto via traceArena.add; this form remains for
+// tests and reference comparisons.
 func encodeTrace(branches []obsBranch, lastAddr isa.Addr) CompactTrace {
 	var b bitString
+	encodeInto(&b, branches, lastAddr)
+	return CompactTrace{bits: b}
+}
+
+// encodeInto appends the Figure 14 encoding of one recorded path to b.
+// branches are the branch outcomes along the path in order; lastAddr is the
+// address of the final instruction.
+func encodeInto(b *bitString, branches []obsBranch, lastAddr isa.Addr) {
 	for _, br := range branches {
 		switch {
 		case br.indirect && br.taken:
@@ -55,7 +63,6 @@ func encodeTrace(branches []obsBranch, lastAddr isa.Addr) CompactTrace {
 	}
 	b.append2(symEnd)
 	b.appendAddr(uint32(lastAddr))
-	return CompactTrace{bits: b}
 }
 
 // Bytes returns the storage footprint of the compact trace.
@@ -71,11 +78,23 @@ func (t CompactTrace) Bytes() int { return len(t.bits.data) }
 // final control transfer, which the CFG construction of §4.2.2 records as
 // an edge (this is how a cyclic observed trace contributes its back edge).
 func (t CompactTrace) Decode(p *program.Program, head isa.Addr) (blocks []codecache.BlockSpec, closing isa.Addr, hasClosing bool, err error) {
+	return t.DecodeInto(p, head, nil)
+}
+
+// DecodeInto is Decode appending into a caller-provided scratch slice
+// (truncated before use), so steady-state combination can reuse one decode
+// buffer across observed traces. The returned slice aliases scratch's
+// backing array when capacity suffices.
+//
+//lint:hotpath per-observed-trace decode during region combination
+func (t CompactTrace) DecodeInto(p *program.Program, head isa.Addr, scratch []codecache.BlockSpec) (blocks []codecache.BlockSpec, closing isa.Addr, hasClosing bool, err error) {
 	rd := bitReader{src: t.bits}
+	blocks = scratch[:0]
 	// Track the start of the current linear segment so the final segment
 	// can be truncated (or dropped) at the encoded end address.
 	segStart := head
 	pc := head
+	//lint:ignore hotpathalloc non-escaping closure, stack-allocated (called directly in this frame)
 	appendSeg := func(from, through isa.Addr) {
 		for b := from; ; {
 			n := p.BlockLen(b)
@@ -165,6 +184,51 @@ func (t CompactTrace) Decode(p *program.Program, head isa.Addr) (blocks []codeca
 	}
 }
 
+// traceSpan locates one compact trace inside a traceArena: a byte offset
+// and a bit length. Spans are stored instead of byte-slice aliases because
+// the arena's backing array moves when it grows; the trace is materialized
+// only at decode time via traceArena.trace.
+type traceSpan struct {
+	off  int
+	bits int
+}
+
+// bytes returns the storage footprint of the spanned trace — identical to
+// CompactTrace.Bytes for the same encoding, so the Figure 18 accounting is
+// unchanged by arena storage.
+func (s traceSpan) bytes() int { return (s.bits + 7) / 8 }
+
+// traceArena stores compact observed traces back to back in one grow-only
+// byte buffer. Traces are appended until the owning Combiner resets; freed
+// spans (released by finalize) are not reclaimed individually — the arena is
+// epoch-cleared as a whole, which is what keeps steady-state combination
+// allocation-free once the buffer has grown to the run's high-water mark.
+type traceArena struct {
+	buf []byte
+	enc bitString // per-add encode scratch, copied into buf
+}
+
+// add encodes one recorded path into the arena and returns its span.
+func (a *traceArena) add(branches []obsBranch, lastAddr isa.Addr) traceSpan {
+	a.enc.reset()
+	encodeInto(&a.enc, branches, lastAddr)
+	off := len(a.buf)
+	a.buf = append(a.buf, a.enc.data...)
+	return traceSpan{off: off, bits: a.enc.n}
+}
+
+// trace materializes the compact trace stored at s. The returned value
+// aliases the arena and is valid only until the next add or reset.
+func (a *traceArena) trace(s traceSpan) CompactTrace {
+	return CompactTrace{bits: bitString{data: a.buf[s.off : s.off+s.bytes()], n: s.bits}}
+}
+
+// reset discards all stored traces, keeping the buffer capacity.
+func (a *traceArena) reset() {
+	a.buf = a.buf[:0]
+	a.enc.reset()
+}
+
 // lastRecorded returns the address of the final instruction of the decoded
 // block list, or an impossible address when empty.
 func lastRecorded(blocks []codecache.BlockSpec) isa.Addr {
@@ -175,32 +239,57 @@ func lastRecorded(blocks []codecache.BlockSpec) isa.Addr {
 	return b.Start + isa.Addr(b.Len) - 1
 }
 
-// bitString is an append-only bit vector.
+// bitString is an append-only bit vector. Bits are packed MSB-first and
+// appended in byte-wide chunks, so a 32-bit address costs at most five
+// masked stores rather than 32 single-bit iterations. The invariant
+// len(data) == ceil(n/8) is what CompactTrace.Bytes measures for Figure 18.
 type bitString struct {
 	data []byte
 	n    int // bits used
 }
 
-func (b *bitString) appendBit(bit uint) {
-	if b.n%8 == 0 {
-		b.data = append(b.data, 0)
-	}
-	if bit != 0 {
-		b.data[b.n/8] |= 1 << uint(7-b.n%8)
-	}
-	b.n++
+// reset truncates the string for reuse, keeping the backing array.
+func (b *bitString) reset() {
+	b.data = b.data[:0]
+	b.n = 0
 }
 
-func (b *bitString) append2(sym uint) {
-	b.appendBit(sym >> 1 & 1)
-	b.appendBit(sym & 1)
+// grow extends data to need bytes, zeroing any bytes recycled from a prior
+// use of the backing array (appendBits ORs into them).
+func (b *bitString) grow(need int) {
+	old := len(b.data)
+	if need <= old {
+		return
+	}
+	if need <= cap(b.data) {
+		b.data = b.data[:need]
+		clear(b.data[old:])
+		return
+	}
+	b.data = append(b.data, make([]byte, need-old)...)
 }
 
-func (b *bitString) appendAddr(a uint32) {
-	for i := addrBits - 1; i >= 0; i-- {
-		b.appendBit(uint(a >> uint(i) & 1))
+// appendBits appends the low nbits of v, most significant bit first.
+func (b *bitString) appendBits(v uint64, nbits uint) {
+	b.grow((b.n + int(nbits) + 7) / 8)
+	for nbits > 0 {
+		space := 8 - uint(b.n)&7 // free bits in the current byte
+		take := nbits
+		if take > space {
+			take = space
+		}
+		chunk := byte(v>>(nbits-take)) & byte(int(1)<<take-1)
+		b.data[b.n>>3] |= chunk << (space - take)
+		b.n += int(take)
+		nbits -= take
 	}
 }
+
+func (b *bitString) appendBit(bit uint) { b.appendBits(uint64(bit), 1) }
+
+func (b *bitString) append2(sym uint) { b.appendBits(uint64(sym), 2) }
+
+func (b *bitString) appendAddr(a uint32) { b.appendBits(uint64(a), addrBits) }
 
 // Len returns the number of bits in the string.
 func (b *bitString) Len() int { return b.n }
@@ -211,35 +300,38 @@ type bitReader struct {
 	pos int
 }
 
-func (r *bitReader) readBit() (uint, error) {
-	if r.pos >= r.src.n {
+// readBits reads the next nbits as an unsigned value, most significant bit
+// first, in byte-wide chunks.
+func (r *bitReader) readBits(nbits uint) (uint64, error) {
+	if r.pos+int(nbits) > r.src.n {
 		return 0, fmt.Errorf("core: compact trace truncated at bit %d", r.pos)
 	}
-	bit := uint(r.src.data[r.pos/8] >> uint(7-r.pos%8) & 1)
-	r.pos++
-	return bit, nil
+	var v uint64
+	for nbits > 0 {
+		avail := 8 - uint(r.pos)&7 // unread bits in the current byte
+		take := nbits
+		if take > avail {
+			take = avail
+		}
+		chunk := r.src.data[r.pos>>3] >> (avail - take) & byte(int(1)<<take-1)
+		v = v<<take | uint64(chunk)
+		r.pos += int(take)
+		nbits -= take
+	}
+	return v, nil
+}
+
+func (r *bitReader) readBit() (uint, error) {
+	v, err := r.readBits(1)
+	return uint(v), err
 }
 
 func (r *bitReader) read2() (uint, error) {
-	hi, err := r.readBit()
-	if err != nil {
-		return 0, err
-	}
-	lo, err := r.readBit()
-	if err != nil {
-		return 0, err
-	}
-	return hi<<1 | lo, nil
+	v, err := r.readBits(2)
+	return uint(v), err
 }
 
 func (r *bitReader) readAddr() (uint32, error) {
-	var a uint32
-	for i := 0; i < addrBits; i++ {
-		bit, err := r.readBit()
-		if err != nil {
-			return 0, err
-		}
-		a = a<<1 | uint32(bit)
-	}
-	return a, nil
+	v, err := r.readBits(addrBits)
+	return uint32(v), err
 }

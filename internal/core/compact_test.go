@@ -92,6 +92,12 @@ func TestCompactRoundTripRandomWalks(t *testing.T) {
 		workloads.MustGet("vortex").Build(1),
 		workloads.Random(workloads.GenConfig{Seed: 7, Funcs: 4}),
 	}
+	// One arena and one decode scratch shared across all iterations, so the
+	// property also exercises the pooled storage path: spans must decode
+	// identically to standalone encodings no matter how often the arena has
+	// grown or the scratch has been reused.
+	var arena traceArena
+	var scratch []codecache.BlockSpec
 	check := func(seed int64, progIdx uint8, headIdx uint16, size uint8) bool {
 		p := progs[int(progIdx)%len(progs)]
 		leaders := p.BlockStarts()
@@ -103,6 +109,20 @@ func TestCompactRoundTripRandomWalks(t *testing.T) {
 			return true
 		}
 		ct := encodeTrace(outcomes, lastAddr)
+		// Figure 14 budget: two bits per branch, addrBits extra per taken
+		// indirect, and a 2-bit end marker plus an addrBits end address.
+		wantBits := 2 + addrBits
+		for _, o := range outcomes {
+			wantBits += 2
+			if o.indirect && o.taken {
+				wantBits += addrBits
+			}
+		}
+		if ct.bits.Len() != wantBits || ct.Bytes() != (wantBits+7)/8 {
+			t.Logf("encoding size: %d bits / %d bytes, want %d bits / %d bytes (outcomes=%+v)",
+				ct.bits.Len(), ct.Bytes(), wantBits, (wantBits+7)/8, outcomes)
+			return false
+		}
 		got, closing, hasClosing, err := ct.Decode(p, head)
 		if err != nil {
 			t.Logf("decode error: %v (head=%d blocks=%v outcomes=%+v last=%d)",
@@ -112,6 +132,23 @@ func TestCompactRoundTripRandomWalks(t *testing.T) {
 		if !sameBlocks(got, blocks) {
 			t.Logf("decode mismatch: got %v want %v (outcomes=%+v last=%d)",
 				got, blocks, outcomes, lastAddr)
+			return false
+		}
+		// The arena-stored copy must account and decode identically.
+		span := arena.add(outcomes, lastAddr)
+		if span.bytes() != ct.Bytes() {
+			t.Logf("span bytes = %d, want %d", span.bytes(), ct.Bytes())
+			return false
+		}
+		got2, closing2, hasClosing2, err := arena.trace(span).DecodeInto(p, head, scratch)
+		scratch = got2
+		if err != nil {
+			t.Logf("arena decode error: %v", err)
+			return false
+		}
+		if !sameBlocks(got2, got) || closing2 != closing || hasClosing2 != hasClosing {
+			t.Logf("arena decode mismatch: got %v/%d/%v want %v/%d/%v",
+				got2, closing2, hasClosing2, got, closing, hasClosing)
 			return false
 		}
 		// When the path's final instruction is a taken branch, the decoder

@@ -15,28 +15,91 @@ import (
 // traces containing it; blocks reaching the T_min occurrence threshold are
 // marked, marks are propagated backward along rejoining paths (Figure 15),
 // and the unmarked remainder is removed before the region is promoted.
+//
+// A RegionCFG is pooled: the Combiner keeps one and re-arms it with Reset
+// for every combination, so all tables below are grow-only. The start index
+// is a dense isa.Addr-indexed table cleared by walking the node list (the
+// same touched-list trick as leiScratch), not a map.
 type RegionCFG struct {
 	entry  isa.Addr
-	starts []isa.Addr       // insertion-ordered block starts; starts[0] == entry
-	index  map[isa.Addr]int // start -> node id
+	starts []isa.Addr // insertion-ordered block starts; starts[0] == entry
+	idx    []int32    // dense start -> node id + 1; 0 = absent
 	lens   []int
 	succs  [][]int
 	count  []int // number of observed traces containing the block
 	marked []bool
+
+	// seenIn[id] == traceEpoch when the current AddTrace already counted the
+	// block, so a trace revisiting a block increments count once. The epoch
+	// bump replaces a per-trace set without any clearing.
+	seenIn     []uint32
+	traceEpoch uint32
+
+	// DFS and spec-building scratch, re-armed at each use.
+	//lint:keep self-cleaning scratch, postOrder re-arms it at each use
+	poVisited []bool
+	//lint:keep self-cleaning scratch, postOrder re-arms it at each use
+	poOrder []int
+	//lint:keep self-cleaning scratch, postOrder re-arms it at each use
+	poStack []cfgFrame
+	//lint:keep self-cleaning scratch, BuildSpec re-arms it at each use
+	remap []int
+	//lint:keep self-cleaning scratch, BuildSpec re-arms it at each use
+	specBlocks []codecache.BlockSpec
+	//lint:keep self-cleaning scratch, BuildSpec re-arms it at each use
+	specSuccs [][]int
+}
+
+// cfgFrame is one explicit DFS stack frame in postOrder.
+type cfgFrame struct {
+	node, next int
 }
 
 // NewRegionCFG returns an empty CFG for a region entered at entry.
 func NewRegionCFG(entry isa.Addr) *RegionCFG {
-	return &RegionCFG{entry: entry, index: make(map[isa.Addr]int)}
+	return &RegionCFG{entry: entry}
+}
+
+// Reset re-arms the CFG for a new region entered at entry, keeping every
+// allocated table: the dense start index is cleared by walking the previous
+// node list, the outer successor slice keeps its recycled inner headers, and
+// the scratch slices keep their backing arrays.
+//
+//lint:hotpath per-combination CFG reuse
+func (g *RegionCFG) Reset(entry isa.Addr) {
+	for _, s := range g.starts {
+		g.idx[s] = 0
+	}
+	g.entry = entry
+	g.starts = g.starts[:0]
+	g.lens = g.lens[:0]
+	g.succs = g.succs[:0]
+	g.count = g.count[:0]
+	g.marked = g.marked[:0]
+	g.seenIn = g.seenIn[:0]
+	g.traceEpoch = 0
 }
 
 // NumBlocks returns the number of blocks currently in the CFG.
+//
+//lint:hotpath called during region combination
 func (g *RegionCFG) NumBlocks() int { return len(g.starts) }
+
+// lookup returns the node id of the block starting at start.
+func (g *RegionCFG) lookup(start isa.Addr) (int, bool) {
+	if int(start) >= len(g.idx) {
+		return 0, false
+	}
+	if i := g.idx[start]; i != 0 {
+		return int(i - 1), true
+	}
+	return 0, false
+}
 
 // Count returns the observed-trace occurrence count of the block at start,
 // or 0 when the block is absent.
 func (g *RegionCFG) Count(start isa.Addr) int {
-	i, ok := g.index[start]
+	i, ok := g.lookup(start)
 	if !ok {
 		return 0
 	}
@@ -45,21 +108,34 @@ func (g *RegionCFG) Count(start isa.Addr) int {
 
 // Marked reports whether the block at start is currently marked.
 func (g *RegionCFG) Marked(start isa.Addr) bool {
-	i, ok := g.index[start]
+	i, ok := g.lookup(start)
 	return ok && g.marked[i]
 }
 
 func (g *RegionCFG) node(start isa.Addr, length int) int {
-	if i, ok := g.index[start]; ok {
+	if i, ok := g.lookup(start); ok {
 		return i
 	}
+	if int(start) >= len(g.idx) {
+		grown := make([]int32, int(start)+1)
+		copy(grown, g.idx)
+		g.idx = grown
+	}
 	i := len(g.starts)
-	g.index[start] = i
+	g.idx[start] = int32(i + 1)
 	g.starts = append(g.starts, start)
 	g.lens = append(g.lens, length)
-	g.succs = append(g.succs, nil)
+	if len(g.succs) < cap(g.succs) {
+		// Reclaim the recycled inner edge list rather than clobbering it
+		// with a nil header.
+		g.succs = g.succs[:i+1]
+		g.succs[i] = g.succs[i][:0]
+	} else {
+		g.succs = append(g.succs, nil)
+	}
 	g.count = append(g.count, 0)
 	g.marked = append(g.marked, false)
+	g.seenIn = append(g.seenIn, 0)
 	return i
 }
 
@@ -80,6 +156,8 @@ func (g *RegionCFG) addEdge(from, to int) {
 // back edge, §4.2.2); otherwise the transfer left the observed region and
 // is not an edge. Pass hasClosing=false when the trace ended by falling
 // off its last block.
+//
+//lint:hotpath per-observed-trace merge during region combination
 func (g *RegionCFG) AddTrace(blocks []codecache.BlockSpec, closing isa.Addr, hasClosing bool) error {
 	if len(blocks) == 0 {
 		return fmt.Errorf("core: empty observed trace")
@@ -87,12 +165,12 @@ func (g *RegionCFG) AddTrace(blocks []codecache.BlockSpec, closing isa.Addr, has
 	if blocks[0].Start != g.entry {
 		return fmt.Errorf("core: observed trace starts at %d, region entry is %d", blocks[0].Start, g.entry)
 	}
-	seen := make(map[int]bool, len(blocks))
+	g.traceEpoch++
 	prev := -1
 	for _, b := range blocks {
 		id := g.node(b.Start, b.Len)
-		if !seen[id] {
-			seen[id] = true
+		if g.seenIn[id] != g.traceEpoch {
+			g.seenIn[id] = g.traceEpoch
 			g.count[id]++
 		}
 		if prev >= 0 {
@@ -101,7 +179,7 @@ func (g *RegionCFG) AddTrace(blocks []codecache.BlockSpec, closing isa.Addr, has
 		prev = id
 	}
 	if hasClosing {
-		if to, ok := g.index[closing]; ok {
+		if to, ok := g.lookup(closing); ok {
 			g.addEdge(prev, to)
 		}
 	}
@@ -111,6 +189,8 @@ func (g *RegionCFG) AddTrace(blocks []codecache.BlockSpec, closing isa.Addr, has
 // MarkFrequent marks every block that appears in at least tmin observed
 // traces (Figure 13, line 13). The entry block is always marked: all
 // observed traces begin there, so its count equals the number of traces.
+//
+//lint:hotpath per-combination marking pass
 func (g *RegionCFG) MarkFrequent(tmin int) {
 	for i := range g.marked {
 		g.marked[i] = g.count[i] >= tmin
@@ -127,6 +207,8 @@ func (g *RegionCFG) MarkFrequent(tmin int) {
 // always means a single extra pass (§4.2.3). It returns the number of
 // iterations that marked at least one block, for the paper's observation
 // that roughly 0.1% of regions need a second pass.
+//
+//lint:hotpath per-combination rejoin propagation
 func (g *RegionCFG) MarkRejoiningPaths() int {
 	order := g.postOrder()
 	markingIters := 0
@@ -151,31 +233,48 @@ func (g *RegionCFG) MarkRejoiningPaths() int {
 	}
 }
 
-// postOrder returns a depth-first post order from the entry. Successors are
-// visited in edge-insertion order, which is deterministic.
+// postOrder returns a depth-first post order from the entry, held in the
+// poOrder scratch. Successors are visited in edge-insertion order on an
+// explicit frame stack, reproducing the recursive formulation's order
+// exactly (a frame's cursor only advances after the pushed subtree has
+// completed).
 func (g *RegionCFG) postOrder() []int {
-	visited := make([]bool, len(g.starts))
-	order := make([]int, 0, len(g.starts))
-	var dfs func(int)
-	dfs = func(i int) {
-		visited[i] = true
-		for _, s := range g.succs[i] {
-			if !visited[s] {
-				dfs(s)
-			}
-		}
-		order = append(order, i)
+	n := len(g.starts)
+	if cap(g.poVisited) < n {
+		g.poVisited = make([]bool, n)
+	} else {
+		g.poVisited = g.poVisited[:n]
+		clear(g.poVisited)
 	}
-	if len(g.starts) > 0 {
-		dfs(0)
+	order := g.poOrder[:0]
+	stack := g.poStack[:0]
+	if n > 0 {
+		g.poVisited[0] = true
+		stack = append(stack, cfgFrame{})
+	}
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.next < len(g.succs[top.node]) {
+			s := g.succs[top.node][top.next]
+			top.next++
+			if !g.poVisited[s] {
+				g.poVisited[s] = true
+				stack = append(stack, cfgFrame{node: s})
+			}
+			continue
+		}
+		order = append(order, top.node)
+		stack = stack[:len(stack)-1]
 	}
 	// Nodes unreachable from the entry cannot exist (every trace starts at
 	// the entry), but stay safe.
 	for i := range g.starts {
-		if !visited[i] {
+		if !g.poVisited[i] {
 			order = append(order, i)
 		}
 	}
+	g.poOrder = order
+	g.poStack = stack
 	return order
 }
 
@@ -184,9 +283,20 @@ func (g *RegionCFG) postOrder() []int {
 // returns the multipath region specification. ok is false when nothing
 // beyond an empty region remains, which cannot happen after MarkFrequent
 // (the entry is always marked) but is reported rather than trusted.
+//
+// The returned spec's Blocks and Succs alias the CFG's scratch and are
+// valid until the next BuildSpec; codecache.Insert copies both.
+//
+//lint:hotpath per-combination spec construction
 func (g *RegionCFG) BuildSpec(p *program.Program) (spec codecache.Spec, ok bool) {
-	remap := make([]int, len(g.starts))
-	var blocks []codecache.BlockSpec
+	n := len(g.starts)
+	if cap(g.remap) < n {
+		g.remap = make([]int, n)
+	} else {
+		g.remap = g.remap[:n]
+	}
+	remap := g.remap
+	blocks := g.specBlocks[:0]
 	for i, start := range g.starts {
 		if !g.marked[i] {
 			remap[i] = -1
@@ -195,21 +305,18 @@ func (g *RegionCFG) BuildSpec(p *program.Program) (spec codecache.Spec, ok bool)
 		remap[i] = len(blocks)
 		blocks = append(blocks, codecache.BlockSpec{Start: start, Len: g.lens[i]})
 	}
+	g.specBlocks = blocks
 	if len(blocks) == 0 {
 		return codecache.Spec{}, false
 	}
-	succs := make([][]int, len(blocks))
-	memberIdx := make(map[isa.Addr]int, len(blocks))
-	for i, b := range blocks {
-		memberIdx[b.Start] = i
+	nb := len(blocks)
+	if cap(g.specSuccs) >= nb {
+		g.specSuccs = g.specSuccs[:nb]
+	} else {
+		g.specSuccs = append(g.specSuccs[:cap(g.specSuccs)], make([][]int, nb-cap(g.specSuccs))...)
 	}
-	addSucc := func(from, to int) {
-		for _, s := range succs[from] {
-			if s == to {
-				return
-			}
-		}
-		succs[from] = append(succs[from], to)
+	for i := range g.specSuccs {
+		g.specSuccs[i] = g.specSuccs[i][:0]
 	}
 	// Observed edges between marked blocks survive.
 	for i := range g.starts {
@@ -218,7 +325,7 @@ func (g *RegionCFG) BuildSpec(p *program.Program) (spec codecache.Spec, ok bool)
 		}
 		for _, s := range g.succs[i] {
 			if remap[s] >= 0 {
-				addSucc(remap[i], remap[s])
+				g.addSpecSucc(remap[i], remap[s])
 			}
 		}
 	}
@@ -228,13 +335,13 @@ func (g *RegionCFG) BuildSpec(p *program.Program) (spec codecache.Spec, ok bool)
 		end := b.Start + isa.Addr(b.Len)
 		last := p.At(end - 1)
 		if last.Op == isa.Br || last.Op == isa.Jmp || last.Op == isa.Call {
-			if to, in := memberIdx[last.Target]; in {
-				addSucc(i, to)
+			if j, in := g.lookup(last.Target); in && remap[j] >= 0 {
+				g.addSpecSucc(i, remap[j])
 			}
 		}
 		if !last.EndsBlock() || last.Op == isa.Br {
-			if to, in := memberIdx[end]; in {
-				addSucc(i, to)
+			if j, in := g.lookup(end); in && remap[j] >= 0 {
+				g.addSpecSucc(i, remap[j])
 			}
 		}
 	}
@@ -242,6 +349,17 @@ func (g *RegionCFG) BuildSpec(p *program.Program) (spec codecache.Spec, ok bool)
 		Entry:  g.entry,
 		Kind:   codecache.KindMultipath,
 		Blocks: blocks,
-		Succs:  succs,
+		Succs:  g.specSuccs,
 	}, true
+}
+
+// addSpecSucc records an edge in the spec under construction, deduplicating
+// against the edges already present.
+func (g *RegionCFG) addSpecSucc(from, to int) {
+	for _, s := range g.specSuccs[from] {
+		if s == to {
+			return
+		}
+	}
+	g.specSuccs[from] = append(g.specSuccs[from], to)
 }

@@ -45,6 +45,7 @@ type obsBranch struct {
 }
 
 func newTailRecorder(p *program.Program, head isa.Addr, maxInstrs, maxBlocks int) *tailRecorder {
+	//lint:ignore hotpathalloc pool-miss constructor: recorderPool.get recycles in steady state
 	r := &tailRecorder{head: head, prog: p, maxInstrs: maxInstrs, maxBlocks: maxBlocks}
 	r.appendBlock(head)
 	return r

@@ -1,0 +1,64 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// TestDiffCombinerResetChain is the Figure 18 identity guard for the pooled
+// combination path: one production Combiner — arena-backed observed traces,
+// recycled span lists, pooled RegionCFG — is re-armed via Reset across a
+// chain of random programs and parameter points, and every leg must be
+// observationally identical to a freshly constructed frozen RefCombiner:
+// same report (including ObservedBytesHighWater and ObservedTraces, so the
+// arena provably does not perturb the observed-memory measurement), same
+// promoted regions, and the same §4.2.3 rejoin-iteration histogram.
+func TestDiffCombinerResetChain(t *testing.T) {
+	legs := 10
+	for _, base := range []core.BaseAlgorithm{core.BaseNET, core.BaseLEI} {
+		name := map[core.BaseAlgorithm]string{core.BaseNET: "net+comb", core.BaseLEI: "lei+comb"}[base]
+		t.Run(name, func(t *testing.T) {
+			pooled := core.NewCombiner(base, RandomParams(0))
+			for leg := 0; leg < legs; leg++ {
+				p := resetProgram(int64(leg * 7))
+				params := RandomParams(int64(leg * 13))
+				pooled.Reset(params)
+				ref := NewRefCombiner(base, params)
+				got := runOnce(t, p, pooled)
+				want := runOnce(t, p, ref)
+				if err := compareResults(got, want); err != nil {
+					t.Fatalf("leg %d: pooled combiner diverged from frozen reference: %v", leg, err)
+				}
+				if pi, ri := pooled.RejoinIterations(), ref.RejoinIterations(); pi != ri {
+					t.Fatalf("leg %d: rejoin-iteration histogram divergence: pooled=%v ref=%v", leg, pi, ri)
+				}
+			}
+		})
+	}
+}
+
+// TestDiffCombinerWorkloads pins pooled-vs-frozen combiner identity on the
+// named workloads at a scale where both bases promote multipath regions,
+// comparing the full report and rejoin histogram per workload.
+func TestDiffCombinerWorkloads(t *testing.T) {
+	params := core.DefaultParams()
+	params.NETThreshold = 18
+	params.LEIThreshold = 17
+	params.HistoryCap = 120
+	for _, name := range workloads.SpecNames() {
+		p := workloads.MustGet(name).Build(12)
+		for _, base := range []core.BaseAlgorithm{core.BaseNET, core.BaseLEI} {
+			dense := core.NewCombiner(base, params)
+			ref := NewRefCombiner(base, params)
+			if err := CompareRun(p, dense, ref); err != nil {
+				t.Errorf("%s under %s: %v", name, dense.Name(), err)
+				continue
+			}
+			if di, ri := dense.RejoinIterations(), ref.RejoinIterations(); di != ri {
+				t.Errorf("%s under %s: rejoin-iteration histogram divergence: dense=%v ref=%v", name, dense.Name(), di, ri)
+			}
+		}
+	}
+}

@@ -228,11 +228,15 @@ type Pair struct {
 }
 
 // Pairs returns fresh production/reference selector pairs for every
-// algorithm with a frozen reference: NET, Mojo-NET, and LEI.
+// algorithm with a frozen reference: NET, Mojo-NET, LEI, and both
+// trace-combination selectors (arena-backed production vs the frozen
+// per-trace-allocating map-based stack).
 func Pairs(params core.Params) []Pair {
 	return []Pair{
 		{Name: "net", Dense: core.NewNET(params), Ref: NewRefNET(params)},
 		{Name: "mojo-net", Dense: core.NewMojoNET(params, 2), Ref: NewRefMojoNET(params, 2)},
 		{Name: "lei", Dense: core.NewLEI(params), Ref: NewRefLEI(params)},
+		{Name: "net+comb", Dense: core.NewCombiner(core.BaseNET, params), Ref: NewRefCombiner(core.BaseNET, params)},
+		{Name: "lei+comb", Dense: core.NewCombiner(core.BaseLEI, params), Ref: NewRefCombiner(core.BaseLEI, params)},
 	}
 }

@@ -97,9 +97,9 @@ type Options struct {
 // Shard is the per-worker execution state: one pooled dynopt.Scratch and a
 // pool of Resettable selectors keyed by configuration name. After warm-up
 // (first job per workload/selector shape), Run performs zero heap
-// allocations per job for the paper's NET and LEI selectors; the combining
-// selectors still allocate for compact-trace storage and region-CFG
-// construction (see docs/PERFORMANCE.md).
+// allocations per job for all four paper selectors — the combining ones
+// store observed traces in a per-Combiner arena and reuse one pooled
+// RegionCFG (see docs/PERFORMANCE.md).
 type Shard struct {
 	scratch   dynopt.Scratch
 	selectors map[string]core.Selector

@@ -230,11 +230,12 @@ func TestGridEnumerationOrder(t *testing.T) {
 	}
 }
 
-// TestShardSteadyStateAllocFree pins the tentpole's zero-alloc claim: after
-// one warm-up run per shape, a shard's job loop — pooled interpreter,
-// simulator, collector, analyzer, code cache, and Resettable selector —
-// performs zero heap allocations per run for the non-combining selectors,
-// including under an eviction-heavy bounded cache (region free-list).
+// TestShardSteadyStateAllocFree pins the zero-alloc claim: after one warm-up
+// run per shape, a shard's job loop — pooled interpreter, simulator,
+// collector, analyzer, code cache, and Resettable selector — performs zero
+// heap allocations per run for every paper selector, the combining ones
+// included (arena-backed observed traces, pooled RegionCFG), including under
+// an eviction-heavy bounded cache (region free-list).
 func TestShardSteadyStateAllocFree(t *testing.T) {
 	shard := NewShard()
 	for _, tc := range []struct {
@@ -243,8 +244,12 @@ func TestShardSteadyStateAllocFree(t *testing.T) {
 	}{
 		{"net", Job{Workload: "fig3-nested-loops", Scale: 40, Selector: NET, Params: core.DefaultParams()}},
 		{"lei", Job{Workload: "fig3-nested-loops", Scale: 40, Selector: LEI, Params: core.DefaultParams()}},
+		{"net+comb", Job{Workload: "fig3-nested-loops", Scale: 40, Selector: NETComb, Params: core.DefaultParams()}},
+		{"lei+comb", Job{Workload: "fig3-nested-loops", Scale: 40, Selector: LEIComb, Params: core.DefaultParams()}},
 		{"net-bounded", Job{Workload: "gzip", Scale: 40, Selector: NET, Params: core.DefaultParams(), CacheLimitBytes: 300}},
 		{"lei-bounded", Job{Workload: "gzip", Scale: 40, Selector: LEI, Params: core.DefaultParams(), CacheLimitBytes: 300}},
+		{"net+comb-bounded", Job{Workload: "gzip", Scale: 40, Selector: NETComb, Params: core.DefaultParams(), CacheLimitBytes: 300}},
+		{"lei+comb-bounded", Job{Workload: "gzip", Scale: 40, Selector: LEIComb, Params: core.DefaultParams(), CacheLimitBytes: 300}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			p := workloads.MustGet(tc.job.Workload).Build(tc.job.Scale)

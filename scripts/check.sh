@@ -1,12 +1,14 @@
 #!/bin/sh
 # Full verification gate: tier-1 checks, the repo-invariant lint suite
 # (cmd/lint; see docs/LINTING.md), the race detector over the
-# concurrent sweep engine and the harness that drives it, a two-config
-# sweep smoke run through the cmd/sweep CLI, the differential selector-
-# equivalence suite run twice (catching order- or state-dependent
-# divergence between the dense production selectors and their frozen
-# map-based references), and a short fuzz pass over the selector fuzz
-# targets.
+# concurrent sweep engine (including the zero-alloc shard guard, whose
+# cases cover net+comb/lei+comb), the harness that drives it, and the
+# core selector package (compact-trace round-trip and arena tests), a
+# two-config sweep smoke run through the cmd/sweep CLI, the
+# differential selector-equivalence suite run twice (catching order- or
+# state-dependent divergence between the dense production selectors and
+# their frozen map-based references, the pooled Combiner included), and
+# a short fuzz pass over the selector fuzz targets.
 #
 #   scripts/check.sh [fuzztime]
 #
@@ -25,8 +27,8 @@ go test ./...
 echo "== lint: hotpathalloc, resetclean, densemap (docs/LINTING.md) =="
 go run ./cmd/lint ./...
 
-echo "== race detector: sweep engine + experiment harness =="
-go test -race ./internal/sweep/ ./internal/experiments/
+echo "== race detector: sweep engine + experiment harness + core round-trip =="
+go test -race ./internal/sweep/ ./internal/experiments/ ./internal/core/
 
 echo "== sweep smoke run (2 configs) =="
 go run ./cmd/sweep \
