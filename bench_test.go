@@ -12,6 +12,7 @@ package repro_test
 import (
 	"context"
 	"fmt"
+	"net"
 	"runtime"
 	"sync"
 	"testing"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/program"
 	"repro/internal/stats"
 	"repro/internal/sweep"
+	"repro/internal/sweepnet"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -263,6 +265,52 @@ func BenchmarkSweep(b *testing.B) {
 			b.ReportMetric(float64(len(jobs)*b.N)/b.Elapsed().Seconds(), "jobs/s")
 		})
 	}
+}
+
+// BenchmarkSweepRemote measures the distributed sweep path end to end: the
+// paper's full 12×4 grid through the wire codec, two in-process loopback
+// sweepd workers, and the coordinator's ordered merge. Compared with
+// BenchmarkSweep the delta is the protocol's whole overhead — framing,
+// varint codec, TCP loopback, reorder admission — which stays small because
+// results travel in batched binary frames and jobs are rebuilt from indices
+// rather than shipped.
+func BenchmarkSweepRemote(b *testing.B) {
+	grid := sweep.Grid{
+		Workloads: workloads.SpecNames(),
+		Scale:     benchScale,
+		Selectors: sweep.PaperSelectors(),
+	}
+	njobs := grid.NumJobs()
+	const workers = 2
+	addrs := make([]string, workers)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		wg.Add(1)
+		go func(ln net.Listener) {
+			defer wg.Done()
+			sweepnet.Serve(ctx, ln, sweepnet.ServerOptions{})
+		}(ln)
+	}
+	defer wg.Wait()
+	defer cancel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink sweep.CountingSink
+		if err := sweepnet.RunGrid(context.Background(), addrs, grid, sweepnet.Options{}, &sink); err != nil {
+			b.Fatal(err)
+		}
+		if sink.N != njobs {
+			b.Fatalf("delivered %d of %d jobs", sink.N, njobs)
+		}
+	}
+	b.ReportMetric(float64(njobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
 }
 
 // BenchmarkPipelineLarge measures end-to-end simulation throughput on the

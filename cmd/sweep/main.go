@@ -5,6 +5,7 @@
 //	sweep -grid 'workloads=gzip,gcc;selectors=net,lei;scale=100'
 //	sweep -grid 'selectors=lei;leithreshold=16,32,64' -sink csv
 //	sweep -grid 'workloads=synthetic;scale=400000' -shards 8 -sink jsonl
+//	sweep -remote host1:7543,host2:7543  # same grid, distributed to sweepd
 //	sweep -list                          # grid keys, workloads, selectors
 //
 // The -grid spec is a semicolon-separated list of key=value assignments;
@@ -13,6 +14,11 @@
 // regardless of sharding, so two invocations of the same grid are
 // byte-identical. Interrupting the run (SIGINT) cancels the remaining
 // cells and exits after the delivered prefix.
+//
+// With -remote the grid runs on sweepd workers (cmd/sweepd) instead of
+// in-process shards; every other flag and the output are unchanged — a
+// distributed run is byte-identical to a local one, whatever the worker
+// count or timing (see docs/SWEEPD.md).
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
@@ -29,6 +36,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sweep"
+	"repro/internal/sweepnet"
 	"repro/internal/workloads"
 )
 
@@ -37,6 +45,7 @@ func main() {
 	shards := flag.Int("shards", 0, "worker shards (0 = GOMAXPROCS)")
 	window := flag.Int("window", 0, "reorder-window size in jobs (0 = 4×shards)")
 	sinkName := flag.String("sink", "table", "output format: table, csv, jsonl, or none")
+	remote := flag.String("remote", "", "comma-separated sweepd worker addresses; empty = run in-process")
 	list := flag.Bool("list", false, "list grid keys, workloads, and selectors, then exit")
 	flag.Parse()
 
@@ -48,13 +57,21 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	sink, flush, err := newSink(*sinkName)
+	sink, flush, err := newSink(*sinkName, os.Stdout)
 	if err != nil {
 		fail(err)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	err = sweep.RunGrid(ctx, grid, sweep.Options{Shards: *shards, Window: *window}, sink)
+	if *remote != "" {
+		addrs := strings.Split(*remote, ",")
+		for i, a := range addrs {
+			addrs[i] = strings.TrimSpace(a)
+		}
+		err = sweepnet.RunGrid(ctx, addrs, grid, sweepnet.Options{Window: *window}, sink)
+	} else {
+		err = sweep.RunGrid(ctx, grid, sweep.Options{Shards: *shards, Window: *window}, sink)
+	}
 	flush()
 	if err != nil {
 		fail(err)
@@ -157,55 +174,77 @@ func expandConfigs(axes map[string][]int) []sweep.Config {
 	return configs
 }
 
+// csvHeader and csvRow define the csv sink's schema; encoding/csv owns the
+// quoting, so workload or selector names containing separators, quotes, or
+// newlines survive a round trip (TestCSVSinkQuoting).
+var csvHeader = []string{"workload", "selector", "cachelimit", "netthreshold",
+	"leithreshold", "historycap", "tprof", "instrs", "hitrate",
+	"regions", "expansion", "stubs", "transitions", "cover90", "counters"}
+
+func csvRow(r sweep.Result) []string {
+	return []string{
+		r.Job.Workload, r.Job.Selector,
+		strconv.Itoa(r.Job.CacheLimitBytes),
+		strconv.Itoa(r.Job.Params.NETThreshold),
+		strconv.Itoa(r.Job.Params.LEIThreshold),
+		strconv.Itoa(r.Job.Params.HistoryCap),
+		strconv.Itoa(r.Job.Params.TProf),
+		strconv.FormatUint(r.Report.TotalInstrs, 10),
+		strconv.FormatFloat(r.Report.HitRate, 'f', 4, 64),
+		strconv.Itoa(r.Report.Regions),
+		strconv.Itoa(r.Report.CodeExpansion),
+		strconv.Itoa(r.Report.Stubs),
+		strconv.FormatUint(r.Report.Transitions, 10),
+		strconv.Itoa(r.Report.CoverSet90),
+		strconv.Itoa(r.Report.CountersHighWater),
+	}
+}
+
 // newSink returns the output sink and a flush function to run after the
-// sweep drains.
-func newSink(name string) (sweep.ResultSink, func(), error) {
+// sweep drains. The flush function fails the process on pending write
+// errors, so a full disk or closed pipe can't silently truncate a run's
+// output.
+func newSink(name string, out io.Writer) (sweep.ResultSink, func(), error) {
 	switch name {
 	case "none":
 		return sweep.FuncSink(func(sweep.Result) {}), func() {}, nil
 	case "jsonl":
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(out)
 		return sweep.FuncSink(func(r sweep.Result) {
 			if err := enc.Encode(r.Report); err != nil {
 				fail(err)
 			}
 		}), func() {}, nil
 	case "csv":
-		w := csv.NewWriter(os.Stdout)
+		w := csv.NewWriter(out)
 		header := true
-		return sweep.FuncSink(func(r sweep.Result) {
+		sink := sweep.FuncSink(func(r sweep.Result) {
 			if header {
 				header = false
-				w.Write([]string{"workload", "selector", "cachelimit", "netthreshold",
-					"leithreshold", "historycap", "tprof", "instrs", "hitrate",
-					"regions", "expansion", "stubs", "transitions", "cover90", "counters"})
+				if err := w.Write(csvHeader); err != nil {
+					fail(err)
+				}
 			}
-			w.Write([]string{
-				r.Job.Workload, r.Job.Selector,
-				strconv.Itoa(r.Job.CacheLimitBytes),
-				strconv.Itoa(r.Job.Params.NETThreshold),
-				strconv.Itoa(r.Job.Params.LEIThreshold),
-				strconv.Itoa(r.Job.Params.HistoryCap),
-				strconv.Itoa(r.Job.Params.TProf),
-				strconv.FormatUint(r.Report.TotalInstrs, 10),
-				strconv.FormatFloat(r.Report.HitRate, 'f', 4, 64),
-				strconv.Itoa(r.Report.Regions),
-				strconv.Itoa(r.Report.CodeExpansion),
-				strconv.Itoa(r.Report.Stubs),
-				strconv.FormatUint(r.Report.Transitions, 10),
-				strconv.Itoa(r.Report.CoverSet90),
-				strconv.Itoa(r.Report.CountersHighWater),
-			})
-		}), w.Flush, nil
+			if err := w.Write(csvRow(r)); err != nil {
+				fail(err)
+			}
+		})
+		flush := func() {
+			w.Flush()
+			if err := w.Error(); err != nil {
+				fail(err)
+			}
+		}
+		return sink, flush, nil
 	case "table":
 		header := true
 		return sweep.FuncSink(func(r sweep.Result) {
 			if header {
 				header = false
-				fmt.Printf("%-18s %-9s %10s %8s %8s %7s %6s %7s %8s\n",
+				fmt.Fprintf(out, "%-18s %-9s %10s %8s %8s %7s %6s %7s %8s\n",
 					"workload", "selector", "limit", "instrs", "hitrate", "regions", "stubs", "cover90", "counters")
 			}
-			fmt.Printf("%-18s %-9s %10d %8d %7.1f%% %7d %6d %7d %8d\n",
+			fmt.Fprintf(out, "%-18s %-9s %10d %8d %7.1f%% %7d %6d %7d %8d\n",
 				r.Job.Workload, r.Job.Selector, r.Job.CacheLimitBytes,
 				r.Report.TotalInstrs, 100*r.Report.HitRate, r.Report.Regions,
 				r.Report.Stubs, r.Report.CoverSet90, r.Report.CountersHighWater)

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// TestCSVSinkQuoting delivers results whose string fields contain every CSV
+// hazard — separators, quotes, newlines, leading spaces — and checks the
+// emitted bytes parse back to the exact field values. encoding/csv owns the
+// quoting; this pins that the sink never bypasses it.
+func TestCSVSinkQuoting(t *testing.T) {
+	hazards := []struct{ workload, selector string }{
+		{"gzip", "net"},
+		{"with,comma", "quo\"te"},
+		{"new\nline", " leading space"},
+		{`"fully quoted"`, "trailing space "},
+	}
+	var out strings.Builder
+	sink, flush, err := newSink("csv", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hazards {
+		var r sweep.Result
+		r.Index = i
+		r.Job.Workload = h.workload
+		r.Job.Selector = h.selector
+		r.Report.TotalInstrs = uint64(1000 + i)
+		r.Report.HitRate = 0.5
+		sink.Deliver(r)
+	}
+	flush()
+
+	rows, err := csv.NewReader(strings.NewReader(out.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted csv does not parse: %v\noutput:\n%s", err, out.String())
+	}
+	if len(rows) != 1+len(hazards) {
+		t.Fatalf("got %d rows, want header + %d", len(rows), len(hazards))
+	}
+	if got, want := len(rows[0]), len(csvHeader); got != want {
+		t.Fatalf("header has %d columns, want %d", got, want)
+	}
+	for i, h := range hazards {
+		row := rows[1+i]
+		if row[0] != h.workload || row[1] != h.selector {
+			t.Errorf("row %d round-tripped to (%q, %q), want (%q, %q)",
+				i, row[0], row[1], h.workload, h.selector)
+		}
+		if len(row) != len(csvHeader) {
+			t.Errorf("row %d has %d columns, want %d", i, len(row), len(csvHeader))
+		}
+	}
+}
+
+// TestCSVRowMatchesHeader pins the row arity to the header so a column added
+// to one but not the other fails fast.
+func TestCSVRowMatchesHeader(t *testing.T) {
+	if got, want := len(csvRow(sweep.Result{})), len(csvHeader); got != want {
+		t.Fatalf("csvRow emits %d fields, header names %d", got, want)
+	}
+}
+
+// TestParseGridRejectsUnknownKey guards the -grid error path.
+func TestParseGridRejectsUnknownKey(t *testing.T) {
+	if _, err := parseGrid("bogus=1"); err == nil {
+		t.Fatal("parseGrid accepted an unknown key")
+	}
+	if _, err := parseGrid("workloads=no-such-workload"); err == nil {
+		t.Fatal("parseGrid accepted an unknown workload")
+	}
+}

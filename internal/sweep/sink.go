@@ -56,15 +56,19 @@ type nopSink struct{}
 
 func (nopSink) Deliver(Result) {}
 
-// delivery is the engine's ordered streaming stage: a bounded reorder ring
-// between the racing shards and the single serialized sink. A shard
+// OrderedSink is the engine's ordered streaming stage: a bounded reorder
+// ring between racing producers and the single serialized sink. A producer
 // finishing job i blocks only while i is more than window slots ahead of the
-// oldest undelivered job — and the shard owning that oldest job never
-// blocks, which is what makes the backpressure deadlock-free (shards drain
-// their contiguous ranges in increasing index order). Memory is bounded by
+// oldest undelivered job — and the producer owning that oldest job never
+// blocks, which is what makes the backpressure deadlock-free when producers
+// drain contiguous ranges in increasing index order. Memory is bounded by
 // the window regardless of grid size, and the ring slots are reused, so
 // steady-state delivery does not allocate.
-type delivery struct {
+//
+// It is exported for the distributed coordinator (internal/sweepnet), which
+// merges the result streams of many wire workers through the same ring the
+// in-process engine uses — output order is the grid enumeration either way.
+type OrderedSink struct {
 	mu        sync.Mutex
 	cond      sync.Cond
 	buf       []Result // ring: job i parks in buf[i%len(buf)]
@@ -74,19 +78,25 @@ type delivery struct {
 	sink      ResultSink
 }
 
-func newDelivery(window int, sink ResultSink) *delivery {
-	d := &delivery{
+// NewOrderedSink returns a ring forwarding to sink. base is the first index
+// expected (the low end of the range being produced); window bounds how far
+// ahead of the delivery frontier a producer may run.
+func NewOrderedSink(base, window int, sink ResultSink) *OrderedSink {
+	d := &OrderedSink{
 		buf:   make([]Result, window),
 		ready: make([]bool, window),
+		next:  base,
 		sink:  sink,
 	}
 	d.cond.L = &d.mu
 	return d
 }
 
-// deliver hands one finished result to the sink, in index order, blocking
-// while the result is too far ahead of the delivery frontier.
-func (d *delivery) deliver(r Result) {
+// Deliver hands one finished result to the sink, in index order, blocking
+// while the result is too far ahead of the delivery frontier. Each index
+// must be delivered at most once. It implements ResultSink, so rings can be
+// stacked when a merge stage needs its own window.
+func (d *OrderedSink) Deliver(r Result) {
 	d.mu.Lock()
 	w := len(d.buf)
 	for !d.cancelled && r.Index >= d.next+w {
@@ -103,15 +113,25 @@ func (d *delivery) deliver(r Result) {
 		d.ready[slot] = false
 		d.next++
 		// The sink runs under the lock: delivery is serialized and ordered
-		// by construction, and shards that race ahead wait right here.
+		// by construction, and producers that race ahead wait right here.
 		d.sink.Deliver(d.buf[slot])
 	}
 	d.cond.Broadcast()
 	d.mu.Unlock()
 }
 
-// cancelAll wakes every blocked shard and drops all undelivered results.
-func (d *delivery) cancelAll() {
+// Next returns the delivery frontier: the lowest index not yet handed to
+// the sink. The coordinator uses it for admission control — it assigns a
+// job range to a worker only when the range fits the window, which is what
+// keeps Deliver from ever blocking a connection reader.
+func (d *OrderedSink) Next() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.next
+}
+
+// Cancel wakes every blocked producer and drops all undelivered results.
+func (d *OrderedSink) Cancel() {
 	d.mu.Lock()
 	d.cancelled = true
 	d.cond.Broadcast()

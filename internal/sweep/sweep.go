@@ -62,25 +62,46 @@ type Grid struct {
 
 // Jobs materializes the grid's job list in enumeration order.
 func (g Grid) Jobs() []Job {
-	configs := g.Configs
-	if len(configs) == 0 {
-		configs = []Config{{}}
-	}
-	jobs := make([]Job, 0, len(g.Workloads)*len(configs)*len(g.Selectors))
-	for _, w := range g.Workloads {
-		for _, c := range configs {
-			for _, s := range g.Selectors {
-				jobs = append(jobs, Job{
-					Workload:        w,
-					Scale:           g.Scale,
-					Selector:        s,
-					Params:          c.Params,
-					CacheLimitBytes: c.CacheLimitBytes,
-				})
-			}
-		}
+	jobs := make([]Job, g.NumJobs())
+	for i := range jobs {
+		jobs[i] = g.JobAt(i)
 	}
 	return jobs
+}
+
+// numConfigs is the config-axis length; an empty Configs list means one
+// all-defaults config.
+func (g Grid) numConfigs() int {
+	if len(g.Configs) == 0 {
+		return 1
+	}
+	return len(g.Configs)
+}
+
+// NumJobs returns the size of the grid's enumeration without materializing
+// it.
+func (g Grid) NumJobs() int {
+	return len(g.Workloads) * g.numConfigs() * len(g.Selectors)
+}
+
+// JobAt returns cell i of the enumeration Jobs materializes — workload-major,
+// then config, then selector — without building the job list, so grids of
+// millions of cells can be walked by index. The distributed coordinator
+// (internal/sweepnet) assigns contiguous index ranges over the wire and
+// workers rebuild the jobs locally from the grid with this.
+func (g Grid) JobAt(i int) Job {
+	perWorkload := g.numConfigs() * len(g.Selectors)
+	var c Config
+	if len(g.Configs) > 0 {
+		c = g.Configs[i%perWorkload/len(g.Selectors)]
+	}
+	return Job{
+		Workload:        g.Workloads[i/perWorkload],
+		Scale:           g.Scale,
+		Selector:        g.Selectors[i%len(g.Selectors)],
+		Params:          c.Params,
+		CacheLimitBytes: c.CacheLimitBytes,
+	}
 }
 
 // Options tunes the engine.
@@ -182,6 +203,58 @@ func (pc *progCache) get(name string, scale int) (*program.Program, error) {
 	return p, nil
 }
 
+// Runner owns the reusable execution state of the sweep engine — a pool of
+// worker shards and the built-program cache — so successive runs (whole
+// grids, or contiguous ranges of one large grid) keep their pooled
+// dynopt.Scratch, Resettable selectors, and once-built programs across
+// calls. It is safe for concurrent use; a sweepd worker keeps one Runner
+// for its whole lifetime so every job range it executes reuses the same
+// warmed state.
+type Runner struct {
+	mu     sync.Mutex
+	shards []*Shard
+	progs  progCache
+}
+
+// NewRunner returns an empty runner; shards and programs are built on first
+// use and pooled thereafter.
+func NewRunner() *Runner { return &Runner{} }
+
+// acquire pops a pooled shard, building one on pool miss.
+func (r *Runner) acquire() *Shard {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.shards); n > 0 {
+		s := r.shards[n-1]
+		r.shards = r.shards[:n-1]
+		return s
+	}
+	return NewShard()
+}
+
+// release returns a shard to the pool.
+func (r *Runner) release(s *Shard) {
+	r.mu.Lock()
+	r.shards = append(r.shards, s)
+	r.mu.Unlock()
+}
+
+// jobSource is random access into a job enumeration; it lets the engine run
+// an index range of a grid nobody ever materializes.
+type jobSource interface {
+	at(i int) Job
+}
+
+// sliceJobs adapts an explicit job list.
+type sliceJobs []Job
+
+func (s sliceJobs) at(i int) Job { return s[i] }
+
+// gridJobs enumerates a grid's cells on demand.
+type gridJobs struct{ g Grid }
+
+func (s gridJobs) at(i int) Job { return s.g.JobAt(i) }
+
 // queue is one shard's contiguous range of pending job indices. The owner
 // pops from the bottom; thieves split off the top half.
 type queue struct {
@@ -230,22 +303,56 @@ func (q *queue) refill(lo, hi int) {
 type engine struct {
 	ctx    context.Context
 	cancel context.CancelFunc
-	jobs   []Job
+	src    jobSource
 	queues []*queue
-	progs  progCache
-	del    *delivery
+	runner *Runner
+	del    *OrderedSink
 
 	mu   sync.Mutex
 	errs []error
 }
 
-// Run executes jobs across opts.Shards worker shards, streaming results to
-// sink in job-index order. It fails fast: the first job error (or a
-// cancellation of ctx) stops the whole grid, dropping undelivered results,
-// and every error observed before the stop is aggregated with errors.Join
-// in deterministic order.
+// Run executes jobs across opts.Shards worker shards with a throwaway
+// Runner, streaming results to sink in job-index order. It fails fast: the
+// first job error (or a cancellation of ctx) stops the whole grid, dropping
+// undelivered results, and every error observed before the stop is
+// aggregated with errors.Join in deterministic order.
 func Run(ctx context.Context, jobs []Job, opts Options, sink ResultSink) error {
-	if len(jobs) == 0 {
+	return NewRunner().Run(ctx, jobs, opts, sink)
+}
+
+// RunGrid is Run over a grid's enumeration.
+func RunGrid(ctx context.Context, g Grid, opts Options, sink ResultSink) error {
+	return NewRunner().RunGrid(ctx, g, opts, sink)
+}
+
+// Run executes jobs with the runner's pooled state, streaming results to
+// sink in job-index order with the fail-fast semantics of the package-level
+// Run.
+func (r *Runner) Run(ctx context.Context, jobs []Job, opts Options, sink ResultSink) error {
+	return r.run(ctx, sliceJobs(jobs), 0, len(jobs), opts, sink)
+}
+
+// RunGrid is Run over a grid's enumeration, walked by index rather than
+// materialized.
+func (r *Runner) RunGrid(ctx context.Context, g Grid, opts Options, sink ResultSink) error {
+	return r.run(ctx, gridJobs{g}, 0, g.NumJobs(), opts, sink)
+}
+
+// RunRange executes cells [lo, hi) of the grid's enumeration. Results carry
+// their global grid indices, so a caller (the distributed worker) executing
+// disjoint ranges of one grid can merge the streams back into full-grid
+// order.
+func (r *Runner) RunRange(ctx context.Context, g Grid, lo, hi int, opts Options, sink ResultSink) error {
+	if n := g.NumJobs(); lo < 0 || hi > n || lo > hi {
+		return fmt.Errorf("sweep: range [%d,%d) outside grid of %d jobs", lo, hi, n)
+	}
+	return r.run(ctx, gridJobs{g}, lo, hi, opts, sink)
+}
+
+func (r *Runner) run(ctx context.Context, src jobSource, lo, hi int, opts Options, sink ResultSink) error {
+	n := hi - lo
+	if n == 0 {
 		return ctx.Err()
 	}
 	if sink == nil {
@@ -255,8 +362,8 @@ func Run(ctx context.Context, jobs []Job, opts Options, sink ResultSink) error {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
-	if shards > len(jobs) {
-		shards = len(jobs)
+	if shards > n {
+		shards = n
 	}
 	window := opts.Window
 	if window <= 0 {
@@ -267,28 +374,29 @@ func Run(ctx context.Context, jobs []Job, opts Options, sink ResultSink) error {
 	e := &engine{
 		ctx:    runCtx,
 		cancel: cancel,
-		jobs:   jobs,
+		src:    src,
 		queues: make([]*queue, shards),
-		del:    newDelivery(window, sink),
+		runner: r,
+		del:    NewOrderedSink(lo, window, sink),
 	}
-	// Partition the grid into contiguous per-shard ranges; work stealing
-	// rebalances them as shards drain at different speeds.
-	base, rem := len(jobs)/shards, len(jobs)%shards
-	lo := 0
+	// Partition the range into contiguous per-shard sub-ranges; work
+	// stealing rebalances them as shards drain at different speeds.
+	base, rem := n/shards, n%shards
+	next := lo
 	for i := range e.queues {
-		n := base
+		take := base
 		if i < rem {
-			n++
+			take++
 		}
-		e.queues[i] = &queue{lo: lo, hi: lo + n}
-		lo += n
+		e.queues[i] = &queue{lo: next, hi: next + take}
+		next += take
 	}
 	// Wake shards blocked on delivery backpressure when the run is
 	// cancelled (externally or by a failing job).
 	monitorDone := make(chan struct{})
 	go func() {
 		<-runCtx.Done()
-		e.del.cancelAll()
+		e.del.Cancel()
 		close(monitorDone)
 	}()
 	var wg sync.WaitGroup
@@ -314,13 +422,9 @@ func Run(ctx context.Context, jobs []Job, opts Options, sink ResultSink) error {
 	return ctx.Err()
 }
 
-// RunGrid is Run over a grid's enumeration.
-func RunGrid(ctx context.Context, g Grid, opts Options, sink ResultSink) error {
-	return Run(ctx, g.Jobs(), opts, sink)
-}
-
 func (e *engine) worker(id int) {
-	shard := NewShard()
+	shard := e.runner.acquire()
+	defer e.runner.release(shard)
 	q := e.queues[id]
 	for {
 		if e.ctx.Err() != nil {
@@ -364,8 +468,8 @@ func (e *engine) stealLargest(id int) (lo, hi int, ok bool) {
 
 //lint:hotpath per-job engine loop
 func (e *engine) process(i int, shard *Shard) {
-	job := e.jobs[i]
-	p, err := e.progs.get(job.Workload, job.Scale)
+	job := e.src.at(i)
+	p, err := e.runner.progs.get(job.Workload, job.Scale)
 	if err != nil {
 		e.fail(err)
 		return
@@ -375,7 +479,7 @@ func (e *engine) process(i int, shard *Shard) {
 		e.fail(fmt.Errorf("sweep: %s under %s: %w", job.Workload, job.Selector, err))
 		return
 	}
-	e.del.deliver(Result{Index: i, Job: job, Report: rep})
+	e.del.Deliver(Result{Index: i, Job: job, Report: rep})
 }
 
 // fail records a job error and stops the grid.

@@ -230,6 +230,63 @@ func TestGridEnumerationOrder(t *testing.T) {
 	}
 }
 
+// TestJobAtMatchesJobs pins the on-demand enumeration against the
+// materialized one, including the empty-Configs default and a degenerate
+// axis.
+func TestJobAtMatchesJobs(t *testing.T) {
+	grids := []Grid{
+		testGrid(),
+		{Workloads: []string{"a", "b", "c"}, Selectors: []string{"s1", "s2"},
+			Configs: []Config{{CacheLimitBytes: 1}, {CacheLimitBytes: 2}, {CacheLimitBytes: 3}}},
+		{Workloads: []string{"a"}, Selectors: []string{"s1"}},
+		{Workloads: []string{"a", "b"}, Scale: 7, Selectors: []string{"s1", "s2", "s3"}},
+		{},
+	}
+	for gi, g := range grids {
+		jobs := g.Jobs()
+		if len(jobs) != g.NumJobs() {
+			t.Fatalf("grid %d: NumJobs = %d, Jobs materializes %d", gi, g.NumJobs(), len(jobs))
+		}
+		for i, want := range jobs {
+			if got := g.JobAt(i); got != want {
+				t.Fatalf("grid %d: JobAt(%d) = %+v, want %+v", gi, i, got, want)
+			}
+		}
+	}
+}
+
+// TestRunnerRunRange checks that executing a grid as disjoint ranges on one
+// persistent Runner reproduces the full-grid run exactly: global indices,
+// jobs, and pooled-state reports all identical.
+func TestRunnerRunRange(t *testing.T) {
+	g := Grid{
+		Workloads: []string{"gzip", "vpr", "mcf"},
+		Scale:     testScale,
+		Selectors: PaperSelectors(),
+		Configs:   []Config{{Params: core.DefaultParams()}, {Params: core.DefaultParams(), CacheLimitBytes: 400}},
+	}
+	var full CollectSink
+	if err := RunGrid(context.Background(), g, Options{Shards: 2}, &full); err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumJobs()
+	r := NewRunner()
+	var merged []Result
+	for _, cut := range [][2]int{{0, 5}, {5, 6}, {6, n}} {
+		var part CollectSink
+		if err := r.RunRange(context.Background(), g, cut[0], cut[1], Options{Shards: 2}, &part); err != nil {
+			t.Fatal(err)
+		}
+		merged = append(merged, part.Results...)
+	}
+	if !reflect.DeepEqual(merged, full.Results) {
+		t.Fatalf("ranged runs differ from full-grid run:\nranged: %d results\n  full: %d results", len(merged), len(full.Results))
+	}
+	if err := r.RunRange(context.Background(), g, 0, n+1, Options{}, nil); err == nil {
+		t.Fatal("RunRange beyond the grid reported no error")
+	}
+}
+
 // TestShardSteadyStateAllocFree pins the zero-alloc claim: after one warm-up
 // run per shape, a shard's job loop — pooled interpreter, simulator,
 // collector, analyzer, code cache, and Resettable selector — performs zero

@@ -1,0 +1,322 @@
+package sweepnet
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sweep"
+)
+
+// Structure-pinning constants: the codec packs struct fields positionally,
+// so it must be updated in lockstep with the structs it serializes.
+// TestCodecCoversStructs fails when any of these drifts from the live
+// definition, and the reflection round-trip test catches a field encoded
+// under the wrong slot.
+const (
+	paramsFieldCount = 10 // core.Params: 7 ints + 3 ablation bools
+	reportFieldCount = 34 // metrics.Report
+	// minConfigBytes is the smallest encoding of one sweep.Config: eight
+	// one-byte varints plus the ablation flag byte.
+	minConfigBytes = 9
+	// minResultBytes is the smallest encoding of one result: index varint,
+	// two empty strings, and the report's fixed-size floor (ints and
+	// strings one byte each, floats eight, one bool).
+	minResultBytes = 1 + reportFieldCount - 5 + 8*5
+)
+
+// encodeGrid packs a grid spec: each axis is a counted list with
+// varint-packed values, so the one-time grid frame stays small even for
+// cross products enumerating millions of cells.
+func encodeGrid(w *wbuf, g sweep.Grid) {
+	w.putU(uint64(len(g.Workloads)))
+	for _, s := range g.Workloads {
+		w.putStr(s)
+	}
+	w.putI(int64(g.Scale))
+	w.putU(uint64(len(g.Selectors)))
+	for _, s := range g.Selectors {
+		w.putStr(s)
+	}
+	w.putU(uint64(len(g.Configs)))
+	for _, c := range g.Configs {
+		encodeConfig(w, c)
+	}
+}
+
+func decodeGrid(r *rbuf) (sweep.Grid, error) {
+	var g sweep.Grid
+	nw, err := r.count(1)
+	if err != nil {
+		return g, err
+	}
+	if nw > 0 {
+		g.Workloads = make([]string, nw)
+		for i := range g.Workloads {
+			b, err := r.strBytes()
+			if err != nil {
+				return g, err
+			}
+			g.Workloads[i] = string(b)
+		}
+	}
+	scale, err := r.i()
+	if err != nil {
+		return g, err
+	}
+	g.Scale = int(scale)
+	ns, err := r.count(1)
+	if err != nil {
+		return g, err
+	}
+	if ns > 0 {
+		g.Selectors = make([]string, ns)
+		for i := range g.Selectors {
+			b, err := r.strBytes()
+			if err != nil {
+				return g, err
+			}
+			g.Selectors[i] = string(b)
+		}
+	}
+	nc, err := r.count(minConfigBytes)
+	if err != nil {
+		return g, err
+	}
+	if nc > 0 {
+		g.Configs = make([]sweep.Config, nc)
+		for i := range g.Configs {
+			if g.Configs[i], err = decodeConfig(r); err != nil {
+				return g, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// Ablation flag bits of the config encoding.
+const (
+	flagAblateLEIExitGrowth   = 1 << 0
+	flagAblateRejoinPaths     = 1 << 1
+	flagAblateNETBackwardStop = 1 << 2
+)
+
+func encodeConfig(w *wbuf, c sweep.Config) {
+	w.putI(int64(c.CacheLimitBytes))
+	p := c.Params
+	w.putI(int64(p.NETThreshold))
+	w.putI(int64(p.LEIThreshold))
+	w.putI(int64(p.HistoryCap))
+	w.putI(int64(p.TProf))
+	w.putI(int64(p.TMin))
+	w.putI(int64(p.MaxTraceInstrs))
+	w.putI(int64(p.MaxTraceBlocks))
+	var flags byte
+	if p.AblateLEIExitGrowth {
+		flags |= flagAblateLEIExitGrowth
+	}
+	if p.AblateRejoinPaths {
+		flags |= flagAblateRejoinPaths
+	}
+	if p.AblateNETBackwardStop {
+		flags |= flagAblateNETBackwardStop
+	}
+	w.putByte(flags)
+}
+
+func decodeConfig(r *rbuf) (sweep.Config, error) {
+	var c sweep.Config
+	// Eight signed fields in declaration order, then the flag byte.
+	dst := [8]*int{
+		&c.CacheLimitBytes,
+		&c.Params.NETThreshold, &c.Params.LEIThreshold, &c.Params.HistoryCap,
+		&c.Params.TProf, &c.Params.TMin, &c.Params.MaxTraceInstrs, &c.Params.MaxTraceBlocks,
+	}
+	for _, p := range dst {
+		v, err := r.i()
+		if err != nil {
+			return c, err
+		}
+		*p = int(v)
+	}
+	if r.off >= len(r.b) {
+		return c, errTruncated
+	}
+	flags := r.b[r.off]
+	r.off++
+	if flags&^byte(flagAblateLEIExitGrowth|flagAblateRejoinPaths|flagAblateNETBackwardStop) != 0 {
+		return c, fmt.Errorf("sweepnet: unknown ablation flags %#x", flags)
+	}
+	c.Params.AblateLEIExitGrowth = flags&flagAblateLEIExitGrowth != 0
+	c.Params.AblateRejoinPaths = flags&flagAblateRejoinPaths != 0
+	c.Params.AblateNETBackwardStop = flags&flagAblateNETBackwardStop != 0
+	return c, nil
+}
+
+// encodeRange packs a frameRange or frameRangeDone payload.
+func encodeRange(w *wbuf, lo, hi int) {
+	w.putU(uint64(lo))
+	w.putU(uint64(hi))
+}
+
+func decodeRange(r *rbuf) (lo, hi int, err error) {
+	ulo, err := r.u()
+	if err != nil {
+		return 0, 0, err
+	}
+	uhi, err := r.u()
+	if err != nil {
+		return 0, 0, err
+	}
+	if ulo > uhi || uhi > uint64(int(^uint(0)>>1)) {
+		return 0, 0, fmt.Errorf("sweepnet: job range [%d,%d) malformed", ulo, uhi)
+	}
+	return int(ulo), int(uhi), nil
+}
+
+// encodeResult appends one completed job to a result batch: the global grid
+// index and every metrics.Report field in declaration order. The coordinator
+// rebuilds the Job side from the index (Grid.JobAt), so a result costs the
+// report plus one varint.
+//
+//lint:hotpath per-result wire encoding (TestCodecSteadyStateAllocFree)
+func encodeResult(w *wbuf, idx int, rep *metrics.Report) {
+	w.putU(uint64(idx))
+	w.putStr(rep.Workload)
+	w.putStr(rep.Selector)
+	w.putU(rep.TotalInstrs)
+	w.putU(rep.CacheInstrs)
+	w.putF(rep.HitRate)
+	w.putU(rep.Transitions)
+	w.putU(rep.PageTransitions)
+	w.putU(rep.TransitionReach)
+	w.putF(rep.AvgTransitionBytes)
+	w.putU(rep.CacheEnters)
+	w.putU(rep.CacheExits)
+	w.putU(rep.InterpBranches)
+	w.putI(int64(rep.Regions))
+	w.putI(int64(rep.CodeExpansion))
+	w.putI(int64(rep.Stubs))
+	w.putI(int64(rep.EstimatedBytes))
+	w.putF(rep.AvgRegionInstrs)
+	w.putI(int64(rep.SpannedCycles))
+	w.putF(rep.SpannedRatio)
+	w.putU(rep.Traversals)
+	w.putU(rep.CycleTraversals)
+	w.putF(rep.ExecutedRatio)
+	w.putI(int64(rep.CoverSet90))
+	w.putBool(rep.CoverSet90OK)
+	w.putI(int64(rep.ExitDominated))
+	w.putF(rep.ExitDominatedRatio)
+	w.putI(int64(rep.ExitDomDupInstrs))
+	w.putF(rep.ExitDomDupInstrsRatio)
+	w.putI(int64(rep.Links))
+	w.putI(int64(rep.CountersHighWater))
+	w.putU(rep.CounterAllocs)
+	w.putI(int64(rep.ObservedBytesHighWater))
+	w.putU(rep.ObservedTraces)
+	w.putF(rep.ObservedPctOfCache)
+}
+
+// decodeResult reads one result into res (Job left untouched — the caller
+// owns index → job reconstruction). Report strings are interned so
+// steady-state decoding is allocation-free: a grid has a bounded set of
+// distinct workload and selector names however many results stream through.
+//
+//lint:hotpath per-result wire decoding (TestCodecSteadyStateAllocFree)
+func decodeResult(r *rbuf, in *interner, res *sweep.Result) error {
+	idx, err := r.u()
+	if err != nil {
+		return err
+	}
+	if idx > uint64(int(^uint(0)>>1)) {
+		return fmt.Errorf("sweepnet: result index %d overflows int", idx)
+	}
+	res.Index = int(idx)
+	rep := &res.Report
+	b, err := r.strBytes()
+	if err != nil {
+		return err
+	}
+	rep.Workload = in.intern(b)
+	if b, err = r.strBytes(); err != nil {
+		return err
+	}
+	rep.Selector = in.intern(b)
+	// Mirror encodeResult field for field; the helpers below keep the first
+	// decode error and turn the remaining reads into no-ops, so the body
+	// stays a flat declaration-order list.
+	//lint:ignore hotpathalloc non-escaping closure, stack-allocated (called directly in this frame)
+	u := func(dst *uint64) {
+		if err == nil {
+			*dst, err = r.u()
+		}
+	}
+	//lint:ignore hotpathalloc non-escaping closure, stack-allocated (called directly in this frame)
+	i := func(dst *int) {
+		if err == nil {
+			var v int64
+			if v, err = r.i(); err == nil {
+				*dst = int(v)
+			}
+		}
+	}
+	//lint:ignore hotpathalloc non-escaping closure, stack-allocated (called directly in this frame)
+	f := func(dst *float64) {
+		if err == nil {
+			*dst, err = r.f()
+		}
+	}
+	u(&rep.TotalInstrs)
+	u(&rep.CacheInstrs)
+	f(&rep.HitRate)
+	u(&rep.Transitions)
+	u(&rep.PageTransitions)
+	u(&rep.TransitionReach)
+	f(&rep.AvgTransitionBytes)
+	u(&rep.CacheEnters)
+	u(&rep.CacheExits)
+	u(&rep.InterpBranches)
+	i(&rep.Regions)
+	i(&rep.CodeExpansion)
+	i(&rep.Stubs)
+	i(&rep.EstimatedBytes)
+	f(&rep.AvgRegionInstrs)
+	i(&rep.SpannedCycles)
+	f(&rep.SpannedRatio)
+	u(&rep.Traversals)
+	u(&rep.CycleTraversals)
+	f(&rep.ExecutedRatio)
+	i(&rep.CoverSet90)
+	if err == nil {
+		rep.CoverSet90OK, err = r.bool()
+	}
+	i(&rep.ExitDominated)
+	f(&rep.ExitDominatedRatio)
+	i(&rep.ExitDomDupInstrs)
+	f(&rep.ExitDomDupInstrsRatio)
+	i(&rep.Links)
+	i(&rep.CountersHighWater)
+	u(&rep.CounterAllocs)
+	i(&rep.ObservedBytesHighWater)
+	u(&rep.ObservedTraces)
+	f(&rep.ObservedPctOfCache)
+	return err
+}
+
+// interner deduplicates the workload and selector strings of decoded
+// reports. The distinct strings of a run are bounded by the grid's axes, the
+// results are not, so after warm-up result decoding allocates nothing.
+type interner struct {
+	m map[string]string
+}
+
+func newInterner() *interner { return &interner{m: make(map[string]string)} }
+
+func (in *interner) intern(b []byte) string {
+	if s, ok := in.m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	in.m[s] = s
+	return s
+}

@@ -1,0 +1,332 @@
+package sweepnet
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sweep"
+)
+
+// TestCodecCoversStructs pins the field counts of the structs the codec
+// serializes positionally. If core.Params or metrics.Report grows a field,
+// this fails until the codec (and these constants) are updated in lockstep.
+func TestCodecCoversStructs(t *testing.T) {
+	if n := reflect.TypeOf(core.Params{}).NumField(); n != paramsFieldCount {
+		t.Errorf("core.Params has %d fields, codec expects %d — update encode/decodeConfig", n, paramsFieldCount)
+	}
+	if n := reflect.TypeOf(metrics.Report{}).NumField(); n != reportFieldCount {
+		t.Errorf("metrics.Report has %d fields, codec expects %d — update encode/decodeResult", n, reportFieldCount)
+	}
+}
+
+// randomGrid builds a grid with randomized axes, biased toward small sizes
+// but covering empties and negative parameter values.
+func randomGrid(rng *rand.Rand) sweep.Grid {
+	names := []string{"gzip", "vpr", "gcc", "mcf", "crafty", "synthetic", "with,comma", ""}
+	var g sweep.Grid
+	for i := rng.Intn(5); i > 0; i-- {
+		g.Workloads = append(g.Workloads, names[rng.Intn(len(names))])
+	}
+	g.Scale = rng.Intn(2000) - 100
+	sels := []string{"net", "lei", "net+comb", "lei+comb", "mojo-net"}
+	for i := rng.Intn(4); i > 0; i-- {
+		g.Selectors = append(g.Selectors, sels[rng.Intn(len(sels))])
+	}
+	for i := rng.Intn(4); i > 0; i-- {
+		c := sweep.Config{Params: core.DefaultParams()}
+		c.CacheLimitBytes = rng.Intn(1 << 20)
+		c.Params.NETThreshold = rng.Intn(200) - 50
+		c.Params.LEIThreshold = rng.Intn(200)
+		c.Params.HistoryCap = rng.Intn(4096)
+		c.Params.TProf = rng.Intn(100000)
+		c.Params.TMin = rng.Intn(100)
+		c.Params.MaxTraceInstrs = rng.Intn(10000)
+		c.Params.MaxTraceBlocks = rng.Intn(1000)
+		c.Params.AblateLEIExitGrowth = rng.Intn(2) == 0
+		c.Params.AblateRejoinPaths = rng.Intn(2) == 0
+		c.Params.AblateNETBackwardStop = rng.Intn(2) == 0
+		g.Configs = append(g.Configs, c)
+	}
+	return g
+}
+
+// randomReport fills every Report field by reflection, so a field added to
+// the struct automatically joins the round-trip property (and fails the
+// byte-identity check until the codec learns it).
+func randomReport(rng *rand.Rand) metrics.Report {
+	var rep metrics.Report
+	v := reflect.ValueOf(&rep).Elem()
+	words := []string{"gzip", "net", "lei+comb", "", "a b", `"q"`, "x,y"}
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.String:
+			f.SetString(words[rng.Intn(len(words))])
+		case reflect.Uint64:
+			f.SetUint(rng.Uint64() >> uint(rng.Intn(64)))
+		case reflect.Int:
+			f.SetInt(int64(rng.Intn(1<<30) - 1<<29))
+		case reflect.Float64:
+			// Include exact and irrational values; byte identity must hold
+			// bit-for-bit either way.
+			f.SetFloat([]float64{0, 1, 0.5, math.Pi, -1e-9, rng.Float64() * 1e6}[rng.Intn(6)])
+		case reflect.Bool:
+			f.SetBool(rng.Intn(2) == 0)
+		default:
+			panic("unhandled Report field kind " + f.Kind().String())
+		}
+	}
+	return rep
+}
+
+// TestGridRoundTrip is the codec property test: encode → decode → encode is
+// byte-identical and decode reproduces the value, over random grids.
+func TestGridRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		g := randomGrid(rng)
+		var w wbuf
+		encodeGrid(&w, g)
+		first := append([]byte(nil), w.b...)
+		r := rbuf{b: first}
+		got, err := decodeGrid(&r)
+		if err != nil {
+			t.Fatalf("grid %d: decode: %v", i, err)
+		}
+		if r.rem() != 0 {
+			t.Fatalf("grid %d: %d bytes left after decode", i, r.rem())
+		}
+		if !reflect.DeepEqual(got, g) {
+			t.Fatalf("grid %d: round trip changed value\n got %+v\nwant %+v", i, got, g)
+		}
+		w.reset()
+		encodeGrid(&w, got)
+		if !bytes.Equal(w.b, first) {
+			t.Fatalf("grid %d: re-encode not byte-identical", i)
+		}
+	}
+}
+
+// TestResultRoundTrip covers the result path: random reports round-trip
+// exactly, re-encode byte-identically, and batches preserve order.
+func TestResultRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := newInterner()
+	for i := 0; i < 200; i++ {
+		rep := randomReport(rng)
+		idx := rng.Intn(1 << 20)
+		var w wbuf
+		encodeResult(&w, idx, &rep)
+		first := append([]byte(nil), w.b...)
+		r := rbuf{b: first}
+		var res sweep.Result
+		if err := decodeResult(&r, in, &res); err != nil {
+			t.Fatalf("result %d: decode: %v", i, err)
+		}
+		if r.rem() != 0 {
+			t.Fatalf("result %d: %d bytes left after decode", i, r.rem())
+		}
+		if res.Index != idx || !reflect.DeepEqual(res.Report, rep) {
+			t.Fatalf("result %d: round trip changed value\n got %d %+v\nwant %d %+v",
+				i, res.Index, res.Report, idx, rep)
+		}
+		w.reset()
+		encodeResult(&w, res.Index, &res.Report)
+		if !bytes.Equal(w.b, first) {
+			t.Fatalf("result %d: re-encode not byte-identical", i)
+		}
+	}
+}
+
+// TestResultBatchOrder encodes a batch of results into one buffer and checks
+// sequential decode returns them in encode order.
+func TestResultBatchOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	reps := make([]metrics.Report, 32)
+	var w wbuf
+	for i := range reps {
+		reps[i] = randomReport(rng)
+		encodeResult(&w, i, &reps[i])
+	}
+	r := rbuf{b: w.b}
+	in := newInterner()
+	for i := range reps {
+		var res sweep.Result
+		if err := decodeResult(&r, in, &res); err != nil {
+			t.Fatalf("batch slot %d: %v", i, err)
+		}
+		if res.Index != i || !reflect.DeepEqual(res.Report, reps[i]) {
+			t.Fatalf("batch slot %d decoded as index %d / wrong report", i, res.Index)
+		}
+	}
+	if r.rem() != 0 {
+		t.Fatalf("%d bytes left after batch decode", r.rem())
+	}
+}
+
+// TestCodecSteadyStateAllocFree guards the wire hot path: once buffers and
+// the interner are warm, encoding and decoding a result performs zero heap
+// allocations.
+func TestCodecSteadyStateAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rep := randomReport(rng)
+	rep.Workload, rep.Selector = "gzip", "net+comb"
+	var w wbuf
+	in := newInterner()
+	var res sweep.Result
+	// Warm up: size the encode buffer, populate the interner.
+	encodeResult(&w, 7, &rep)
+	r := rbuf{b: w.b}
+	if err := decodeResult(&r, in, &res); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		w.reset()
+		encodeResult(&w, 7, &rep)
+	}); allocs != 0 {
+		t.Errorf("encodeResult allocates %.1f per run in steady state, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		r := rbuf{b: w.b}
+		if err := decodeResult(&r, in, &res); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("decodeResult allocates %.1f per run in steady state, want 0", allocs)
+	}
+}
+
+// TestDecodeErrors feeds every strict prefix of valid encodings to the
+// decoders: all must return an error (never panic, never succeed short).
+func TestDecodeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGrid(rng)
+	// Force non-empty axes so the encoding exercises strings and configs.
+	g.Workloads = append(g.Workloads, "gzip")
+	g.Configs = append(g.Configs, sweep.Config{Params: core.DefaultParams()})
+	var wg wbuf
+	encodeGrid(&wg, g)
+	for n := 0; n < len(wg.b); n++ {
+		r := rbuf{b: wg.b[:n]}
+		if _, err := decodeGrid(&r); err == nil {
+			t.Fatalf("decodeGrid accepted a %d-byte prefix of a %d-byte grid", n, len(wg.b))
+		}
+	}
+	rep := randomReport(rng)
+	var wr wbuf
+	encodeResult(&wr, 3, &rep)
+	in := newInterner()
+	for n := 0; n < len(wr.b); n++ {
+		r := rbuf{b: wr.b[:n]}
+		var res sweep.Result
+		if err := decodeResult(&r, in, &res); err == nil {
+			t.Fatalf("decodeResult accepted a %d-byte prefix of a %d-byte result", n, len(wr.b))
+		}
+	}
+	var wrange wbuf
+	encodeRange(&wrange, 10, 250)
+	for n := 0; n < len(wrange.b); n++ {
+		r := rbuf{b: wrange.b[:n]}
+		if _, _, err := decodeRange(&r); err == nil {
+			t.Fatalf("decodeRange accepted a %d-byte prefix", n)
+		}
+	}
+	// Inverted and overflowing ranges are rejected outright.
+	var winv wbuf
+	encodeRange(&winv, 250, 10)
+	r := rbuf{b: winv.b}
+	if _, _, err := decodeRange(&r); err == nil {
+		t.Fatal("decodeRange accepted hi < lo")
+	}
+	// A count larger than the remaining payload must error before any
+	// allocation sized from it.
+	var wc wbuf
+	wc.putU(1 << 40)
+	r = rbuf{b: wc.b}
+	if _, err := decodeGrid(&r); err == nil {
+		t.Fatal("decodeGrid accepted a workload count exceeding the frame")
+	}
+	// Unknown ablation flag bits are a protocol error.
+	var wcfg wbuf
+	encodeConfig(&wcfg, sweep.Config{Params: core.DefaultParams()})
+	wcfg.b[len(wcfg.b)-1] = 0x80
+	r = rbuf{b: wcfg.b}
+	if _, err := decodeConfig(&r); err == nil {
+		t.Fatal("decodeConfig accepted unknown flag bits")
+	}
+}
+
+// FuzzJobCodec throws arbitrary bytes at every decoder. The property is
+// crash-freedom: malformed frames error; frames that decode must re-encode
+// to a value that decodes identically.
+func FuzzJobCodec(f *testing.F) {
+	rng := rand.New(rand.NewSource(6))
+	var w wbuf
+	encodeGrid(&w, randomGrid(rng))
+	f.Add(byte(frameGrid), append([]byte(nil), w.b...))
+	w.reset()
+	rep := randomReport(rng)
+	encodeResult(&w, 12, &rep)
+	f.Add(byte(frameResults), append([]byte(nil), w.b...))
+	w.reset()
+	encodeRange(&w, 4, 99)
+	f.Add(byte(frameRange), append([]byte(nil), w.b...))
+	// Truncated and bit-flipped variants.
+	w.reset()
+	encodeGrid(&w, randomGrid(rng))
+	trunc := append([]byte(nil), w.b[:len(w.b)/2]...)
+	f.Add(byte(frameGrid), trunc)
+	if len(w.b) > 3 {
+		corrupt := append([]byte(nil), w.b...)
+		corrupt[1] ^= 0xff
+		f.Add(byte(frameGrid), corrupt)
+	}
+
+	f.Fuzz(func(t *testing.T, kind byte, payload []byte) {
+		switch kind % 4 {
+		case 0:
+			r := rbuf{b: payload}
+			if g, err := decodeGrid(&r); err == nil {
+				var w2 wbuf
+				encodeGrid(&w2, g)
+				r2 := rbuf{b: w2.b}
+				g2, err := decodeGrid(&r2)
+				if err != nil || !reflect.DeepEqual(g, g2) {
+					t.Fatalf("accepted grid does not round-trip: %v", err)
+				}
+			}
+		case 1:
+			r := rbuf{b: payload}
+			var res sweep.Result
+			if err := decodeResult(&r, newInterner(), &res); err == nil {
+				// Compare re-encoded bytes, not values: floats are bit-exact
+				// on the wire but NaN defeats reflect.DeepEqual.
+				var w2 wbuf
+				encodeResult(&w2, res.Index, &res.Report)
+				r2 := rbuf{b: w2.b}
+				var res2 sweep.Result
+				if err := decodeResult(&r2, newInterner(), &res2); err != nil {
+					t.Fatalf("re-encoded result does not decode: %v", err)
+				}
+				var w3 wbuf
+				encodeResult(&w3, res2.Index, &res2.Report)
+				if !bytes.Equal(w2.b, w3.b) {
+					t.Fatal("accepted result is not byte-stable under re-encode")
+				}
+			}
+		case 2:
+			r := rbuf{b: payload}
+			if lo, hi, err := decodeRange(&r); err == nil && (lo < 0 || hi < lo) {
+				t.Fatalf("decodeRange accepted malformed [%d,%d)", lo, hi)
+			}
+		case 3:
+			r := rbuf{b: payload}
+			decodeConfig(&r)
+		}
+	})
+}

@@ -1,0 +1,179 @@
+// Command benchgate compares fresh `go test -bench` output (stdin) against
+// the recorded baseline in BENCH_pipeline.json and fails when a benchmark
+// regressed beyond tolerance. Used by scripts/check.sh as the
+// bench-regression gate.
+//
+//	go test -bench '^(BenchmarkPipeline|BenchmarkLEI)$' -run '^$' . |
+//	    go run ./scripts/benchgate -baseline BENCH_pipeline.json -tol 0.25
+//
+// Per benchmark, the gated metric is ns/instr when both sides report it
+// (the normalized cost the repo optimizes for), otherwise ns/op. The best
+// (minimum) run on each side is compared — benchmark noise is one-sided, a
+// machine can only be slower than the code's true cost — and fresh/base >
+// 1+tol fails. Benchmarks on only one side are reported but never fail the
+// gate, so adding a benchmark does not break CI until it is recorded.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type doc struct {
+	Benchmarks map[string]*entry `json:"benchmarks"`
+}
+
+type entry struct {
+	Runs []run `json:"runs"`
+}
+
+type run struct {
+	NsPerOp    *float64 `json:"ns_per_op"`
+	NsPerInstr *float64 `json:"ns_per_instr"`
+}
+
+// best extracts the entry's minimum value for the chosen metric; ok is false
+// when no run reports it.
+func (e *entry) best(instr bool) (float64, bool) {
+	v, ok := 0.0, false
+	for _, r := range e.Runs {
+		m := r.NsPerOp
+		if instr {
+			m = r.NsPerInstr
+		}
+		if m == nil {
+			continue
+		}
+		if !ok || *m < v {
+			v, ok = *m, true
+		}
+	}
+	return v, ok
+}
+
+// hasInstr reports whether any run records ns/instr.
+func (e *entry) hasInstr() bool {
+	_, ok := e.best(true)
+	return ok
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_pipeline.json", "recorded baseline JSON")
+	tol := flag.Float64("tol", 0.25, "allowed fractional regression (0.25 = +25%)")
+	flag.Parse()
+
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		fail(err)
+	}
+	var base doc
+	if err := json.Unmarshal(data, &base); err != nil {
+		fail(fmt.Errorf("parsing %s: %w", *baseline, err))
+	}
+
+	fresh := map[string]*entry{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		name, r, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if fresh[name] == nil {
+			fresh[name] = &entry{}
+		}
+		fresh[name].Runs = append(fresh[name].Runs, r)
+	}
+	if err := sc.Err(); err != nil {
+		fail(err)
+	}
+	if len(fresh) == 0 {
+		fail(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	failed := false
+	for _, name := range sortedKeys(fresh) {
+		e := fresh[name]
+		b, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Printf("benchgate: %-40s no baseline recorded, skipping\n", name)
+			continue
+		}
+		// Gate on ns/instr only when both sides record it, so flipping the
+		// metric a benchmark reports can't silently compare ns to something
+		// else.
+		instr := e.hasInstr() && b.hasInstr()
+		metric := "ns/op"
+		if instr {
+			metric = "ns/instr"
+		}
+		fb, okB := b.best(instr)
+		ff, okF := e.best(instr)
+		if !okB || !okF || fb == 0 {
+			fmt.Printf("benchgate: %-40s metric %s missing on one side, skipping\n", name, metric)
+			continue
+		}
+		ratio := ff / fb
+		verdict := "ok"
+		if ratio > 1+*tol {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("benchgate: %-40s %-8s base %.4g fresh %.4g (%+.1f%%) %s\n",
+			name, metric, fb, ff, 100*(ratio-1), verdict)
+	}
+	if failed {
+		fail(fmt.Errorf("regression beyond %.0f%% tolerance (rerun scripts/bench.sh if the change is intended)", 100**tol))
+	}
+}
+
+func sortedKeys(m map[string]*entry) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-[0-9]+$`)
+
+// parseLine mirrors scripts/benchmerge: benchmark name (GOMAXPROCS suffix
+// stripped), iterations, then value/unit pairs.
+func parseLine(line string) (string, run, bool) {
+	f := strings.Fields(line)
+	if len(f) < 2 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", run{}, false
+	}
+	if _, err := strconv.ParseInt(f[1], 10, 64); err != nil {
+		return "", run{}, false
+	}
+	var r run
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", run{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = &v
+		case "ns/instr":
+			r.NsPerInstr = &v
+		}
+	}
+	return gomaxprocsSuffix.ReplaceAllString(f[0], ""), r, true
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -2,18 +2,24 @@
 # Full verification gate: tier-1 checks, the repo-invariant lint suite
 # (cmd/lint; see docs/LINTING.md), the race detector over the
 # concurrent sweep engine (including the zero-alloc shard guard, whose
-# cases cover net+comb/lei+comb), the harness that drives it, and the
-# core selector package (compact-trace round-trip and arena tests), a
-# two-config sweep smoke run through the cmd/sweep CLI, the
-# differential selector-equivalence suite run twice (catching order- or
+# cases cover net+comb/lei+comb), the distributed sweep service, the
+# harness that drives it, and the core selector package (compact-trace
+# round-trip and arena tests), a two-config sweep smoke run through the
+# cmd/sweep CLI, a distributed smoke run (two loopback sweepd workers,
+# jsonl output diffed against the local run — docs/SWEEPD.md), a
+# bench-regression gate comparing fresh BenchmarkPipeline/BenchmarkLEI
+# numbers against BENCH_pipeline.json, the differential
+# selector-equivalence suite run twice (catching order- or
 # state-dependent divergence between the dense production selectors and
 # their frozen map-based references, the pooled Combiner included), and
-# a short fuzz pass over the selector fuzz targets.
+# a short fuzz pass over the selector and wire-codec fuzz targets.
 #
 #   scripts/check.sh [fuzztime]
 #
 # fuzztime is the -fuzztime for each fuzz target (default 10s; set 0 to
-# skip fuzzing).
+# skip fuzzing). Environment knobs for the bench gate: BENCH_GATE=0
+# skips it (benchmarks need a quiet machine); BENCH_TOL overrides the
+# allowed fractional regression (default 0.25).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -27,13 +33,50 @@ go test ./...
 echo "== lint: hotpathalloc, resetclean, densemap (docs/LINTING.md) =="
 go run ./cmd/lint ./...
 
-echo "== race detector: sweep engine + experiment harness + core round-trip =="
-go test -race ./internal/sweep/ ./internal/experiments/ ./internal/core/
+echo "== race detector: sweep engine + sweepnet + experiment harness + core round-trip =="
+go test -race ./internal/sweep/ ./internal/sweepnet/ ./internal/experiments/ ./internal/core/
 
 echo "== sweep smoke run (2 configs) =="
 go run ./cmd/sweep \
     -grid 'workloads=gzip,vpr;selectors=net,lei;scale=40;cachelimit=0,400' \
     -shards 2 -sink none
+
+echo "== distributed smoke run: 2 loopback sweepd workers, jsonl diff =="
+smokegrid='workloads=gzip,vpr;selectors=net,lei;scale=40;cachelimit=0,400'
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"; [ -n "${w1pid:-}" ] && kill "$w1pid" 2>/dev/null; [ -n "${w2pid:-}" ] && kill "$w2pid" 2>/dev/null; wait 2>/dev/null || true' EXIT
+go build -o "$workdir/sweepd" ./cmd/sweepd
+go build -o "$workdir/sweep" ./cmd/sweep
+"$workdir/sweepd" -listen 127.0.0.1:0 >"$workdir/w1.log" & w1pid=$!
+"$workdir/sweepd" -listen 127.0.0.1:0 >"$workdir/w2.log" & w2pid=$!
+# Each worker prints "sweepd: listening on <addr>" once bound.
+for log in "$workdir/w1.log" "$workdir/w2.log"; do
+    tries=0
+    until grep -q 'listening on' "$log" 2>/dev/null; do
+        tries=$((tries + 1))
+        [ "$tries" -lt 100 ] || { echo "check.sh: sweepd never came up ($log)"; exit 1; }
+        sleep 0.1
+    done
+done
+addr1="$(sed -n 's/^sweepd: listening on //p' "$workdir/w1.log")"
+addr2="$(sed -n 's/^sweepd: listening on //p' "$workdir/w2.log")"
+"$workdir/sweep" -grid "$smokegrid" -sink jsonl >"$workdir/local.jsonl"
+"$workdir/sweep" -grid "$smokegrid" -sink jsonl -remote "$addr1,$addr2" >"$workdir/remote.jsonl"
+diff "$workdir/local.jsonl" "$workdir/remote.jsonl" || {
+    echo "check.sh: distributed run output differs from local run"; exit 1; }
+kill "$w1pid" "$w2pid"
+wait "$w1pid" "$w2pid" 2>/dev/null || true
+w1pid=""; w2pid=""
+echo "distributed output byte-identical to local"
+
+if [ "${BENCH_GATE:-1}" != "0" ]; then
+    echo "== bench-regression gate: BenchmarkPipeline + BenchmarkLEI vs BENCH_pipeline.json =="
+    benchout="$workdir/bench.out"
+    # No pipe: POSIX sh has no pipefail, a pipe would mask a go test failure.
+    go test -run '^$' -bench '^(BenchmarkPipeline|BenchmarkLEI)$' -benchmem -count=3 . >"$benchout"
+    cat "$benchout"
+    go run ./scripts/benchgate -baseline BENCH_pipeline.json -tol "${BENCH_TOL:-0.25}" <"$benchout"
+fi
 
 echo "== differential equivalence (x2) =="
 go test -run Diff -count=2 ./internal/difftest/
@@ -45,6 +88,8 @@ if [ "$fuzztime" != "0" ]; then
     go test -run '^$' -fuzz '^FuzzLEISelect$' -fuzztime "$fuzztime" ./internal/difftest/
     echo "== fuzz: FuzzCombinedSelect ($fuzztime) =="
     go test -run '^$' -fuzz '^FuzzCombinedSelect$' -fuzztime "$fuzztime" ./internal/difftest/
+    echo "== fuzz: FuzzJobCodec ($fuzztime) =="
+    go test -run '^$' -fuzz '^FuzzJobCodec$' -fuzztime "$fuzztime" ./internal/sweepnet/
 fi
 
 echo "check.sh: all checks passed"
