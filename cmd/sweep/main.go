@@ -16,9 +16,11 @@
 // cells and exits after the delivered prefix.
 //
 // With -remote the grid runs on sweepd workers (cmd/sweepd) instead of
-// in-process shards; every other flag and the output are unchanged — a
+// in-process shards; the output and every other flag are unchanged — a
 // distributed run is byte-identical to a local one, whatever the worker
-// count or timing (see docs/SWEEPD.md).
+// count or timing (see docs/SWEEPD.md). The exception is -shards, which
+// is a worker-side setting in remote mode: each sweepd picks its own
+// shard count (sweepd -shards), and setting -shards here warns.
 package main
 
 import (
@@ -64,6 +66,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if *remote != "" {
+		if *shards != 0 {
+			fmt.Fprintln(os.Stderr, "sweep: warning: -shards has no effect with -remote; sharding is a worker-side setting (sweepd -shards)")
+		}
 		addrs := strings.Split(*remote, ",")
 		for i, a := range addrs {
 			addrs[i] = strings.TrimSpace(a)

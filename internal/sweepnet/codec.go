@@ -15,13 +15,18 @@ import (
 const (
 	paramsFieldCount = 10 // core.Params: 7 ints + 3 ablation bools
 	reportFieldCount = 34 // metrics.Report
+	// reportFloatCount is how many Report fields are float64s, which encode
+	// as fixed 8-byte values rather than one-byte-minimum varints.
+	reportFloatCount = 8
 	// minConfigBytes is the smallest encoding of one sweep.Config: eight
 	// one-byte varints plus the ablation flag byte.
 	minConfigBytes = 9
 	// minResultBytes is the smallest encoding of one result: index varint,
-	// two empty strings, and the report's fixed-size floor (ints and
-	// strings one byte each, floats eight, one bool).
-	minResultBytes = 1 + reportFieldCount - 5 + 8*5
+	// the two string length prefixes, eight bytes per float, the bool byte,
+	// and one byte for each remaining varint field. The zero value encodes
+	// to exactly this size — TestCodecCoversStructs pins that equality so
+	// the handleResults batch bound can't drift from the codec.
+	minResultBytes = 1 + 2 + 8*reportFloatCount + 1 + (reportFieldCount - 2 - reportFloatCount - 1)
 )
 
 // encodeGrid packs a grid spec: each axis is a counted list with

@@ -22,6 +22,29 @@ func TestCodecCoversStructs(t *testing.T) {
 	if n := reflect.TypeOf(metrics.Report{}).NumField(); n != reportFieldCount {
 		t.Errorf("metrics.Report has %d fields, codec expects %d — update encode/decodeResult", n, reportFieldCount)
 	}
+	floats := 0
+	rt := reflect.TypeOf(metrics.Report{})
+	for i := 0; i < rt.NumField(); i++ {
+		if rt.Field(i).Type.Kind() == reflect.Float64 {
+			floats++
+		}
+	}
+	if floats != reportFloatCount {
+		t.Errorf("metrics.Report has %d float64 fields, codec expects %d — update minResultBytes", floats, reportFloatCount)
+	}
+	// The zero value is the minimum-size encoding, so the decoder batch
+	// bounds (rbuf.count) must equal it exactly, not approximately.
+	var w wbuf
+	var rep metrics.Report
+	encodeResult(&w, 0, &rep)
+	if len(w.b) != minResultBytes {
+		t.Errorf("zero-value result encodes to %d bytes, minResultBytes says %d", len(w.b), minResultBytes)
+	}
+	w.reset()
+	encodeConfig(&w, sweep.Config{})
+	if len(w.b) != minConfigBytes {
+		t.Errorf("zero-value config encodes to %d bytes, minConfigBytes says %d", len(w.b), minConfigBytes)
+	}
 }
 
 // randomGrid builds a grid with randomized axes, biased toward small sizes

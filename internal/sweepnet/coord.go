@@ -242,6 +242,11 @@ func (c *coordinator) runWorker(ctx context.Context, addr string) {
 
 	w := &workerConn{c: c, addr: addr, conn: conn, fw: newFrameWriter(conn), fr: newFrameReader(conn), intern: newInterner()}
 	err = w.session(ctx)
+	if errors.Is(err, errFrameTooLarge) {
+		// Deterministic: every worker rejects the same grid. Fail the run
+		// with the real cause instead of "all workers failed".
+		c.fail(err)
+	}
 	w.abandon(ctx, err)
 }
 
@@ -303,6 +308,9 @@ func (w *workerConn) handshake() error {
 	}
 	encodeGrid(w.fw.begin(frameGrid), w.c.grid)
 	if err := w.fw.end(); err != nil {
+		if errors.Is(err, errFrameTooLarge) {
+			return fmt.Errorf("sweepnet: grid of %d configs too large for one frame — split the config axis across runs: %w", len(w.c.grid.Configs), err)
+		}
 		return fmt.Errorf("sweepnet: %s: sending grid: %w", w.addr, err)
 	}
 	return w.fw.flush()

@@ -252,3 +252,65 @@ func TestServeDrainIdle(t *testing.T) {
 	_, stop := startWorker(t, ServerOptions{})
 	stop()
 }
+
+// TestServeDrainIdleSession: a drain arriving while a connected session's
+// queue is empty must hang up the connection and let Serve return — not
+// leave the session heartbeating with a read loop that accepts ranges
+// nobody will execute.
+func TestServeDrainIdleSession(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Serve(ctx, ln, ServerOptions{Shards: 1, Heartbeat: 50 * time.Millisecond})
+	}()
+
+	// Act as the coordinator: handshake and ship the grid, assign nothing.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fr := newFrameReader(conn)
+	if ft, _, err := fr.next(); err != nil || ft != frameHello {
+		t.Fatalf("hello: frame %#x, err %v", ft, err)
+	}
+	fw := newFrameWriter(conn)
+	encodeGrid(fw.begin(frameGrid), testGrid())
+	if err := fw.end(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	cancel() // drain while the session's queue is empty
+	// The worker must hang up: in-flight heartbeats drain, then EOF.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		if _, _, err := fr.next(); err != nil {
+			break
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after draining an idle session")
+	}
+}
+
+// TestFrameWriterRejectsOversized: a payload over maxFrame errors at the
+// writer (errFrameTooLarge) instead of going on the wire for the reader to
+// drop as corruption.
+func TestFrameWriterRejectsOversized(t *testing.T) {
+	fw := newFrameWriter(io.Discard)
+	w := fw.begin(frameGrid)
+	w.b = append(w.b, make([]byte, maxFrame)...)
+	if err := fw.end(); !errors.Is(err, errFrameTooLarge) {
+		t.Fatalf("end accepted a %d-byte payload: %v", len(w.b), err)
+	}
+}

@@ -46,6 +46,12 @@ const (
 // stream corruption rather than trusted as allocation sizes.
 const maxFrame = 1 << 22
 
+// errFrameTooLarge rejects an over-maxFrame payload at the writer, so the
+// sender diagnoses an oversized frame (in practice: a grid whose config
+// axis is too big for the one-frame grid encoding) instead of the receiver
+// dropping the connection as corrupt.
+var errFrameTooLarge = fmt.Errorf("sweepnet: frame payload exceeds the %d-byte frame limit", maxFrame)
+
 // Decoder errors. Sentinels, not fmt.Errorf: decode runs on the hot path
 // and malformed input must error without panicking (FuzzJobCodec).
 var (
@@ -238,10 +244,14 @@ func (fw *frameWriter) begin(t byte) *wbuf {
 }
 
 // end length-prefixes the pending payload and writes the frame into the
-// buffered writer.
+// buffered writer. A payload the reader would reject (frameReader.next caps
+// at maxFrame) errors here instead of going on the wire.
 //
 //lint:hotpath result-batch framing (TestCodecSteadyStateAllocFree)
 func (fw *frameWriter) end() error {
+	if len(fw.payload.b) > maxFrame {
+		return fmt.Errorf("%w (%d-byte payload)", errFrameTooLarge, len(fw.payload.b))
+	}
 	n := binary.PutUvarint(fw.hdr[:], uint64(len(fw.payload.b)))
 	if _, err := fw.w.Write(fw.hdr[:n]); err != nil {
 		return err

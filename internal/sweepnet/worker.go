@@ -213,6 +213,13 @@ func (s *session) executor(sctx context.Context) {
 	for {
 		r, grid, ok := s.nextQueued()
 		if !ok {
+			// The queue is cut loose: the connection is already dead, or a
+			// drain arrived while this session was idle. Hang up either way —
+			// without the close, a drained-but-idle session keeps
+			// heartbeating while its read loop accepts ranges nobody will
+			// execute, and both the coordinator and Serve's drain wait
+			// forever (TestServeDrainIdleSession).
+			s.conn.Close()
 			return
 		}
 		stream := &resultStream{s: s}
