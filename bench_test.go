@@ -470,6 +470,36 @@ func BenchmarkLEI(b *testing.B) {
 	b.ReportMetric(float64(ms1.TotalAlloc-ms0.TotalAlloc)/float64(instrs), "B/instr")
 }
 
+// BenchmarkAdaptive measures the adaptive meta-selector end to end on the
+// phased workload it was built for: detector accounting on every
+// interpreted transfer and cache exit, plus the policy switches (with
+// partition flushes) the phase regimes force. The delta against
+// BenchmarkLEI bounds what phase detection costs on top of a static
+// selector — pure integer accounting, zero steady-state allocation
+// (pinned by TestAdaptiveSteadyStateAllocFree).
+func BenchmarkAdaptive(b *testing.B) {
+	prog := workloads.MustGet("phased").Build(60_000)
+	scratch := &dynopt.Scratch{}
+	var ms0, ms1 runtime.MemStats
+	var instrs uint64
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dynopt.Run(prog, dynopt.Config{
+			Selector: core.NewAdaptive(core.DefaultParams()),
+			Scratch:  scratch,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.VMStats.Instrs
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(instrs), "ns/instr")
+	b.ReportMetric(float64(ms1.TotalAlloc-ms0.TotalAlloc)/float64(instrs), "B/instr")
+}
+
 // BenchmarkAnalyze measures the pooled metrics.Analyzer over a finished
 // LEI run; after the first iteration warms the scratch tables, each call
 // must be allocation-free (pinned by TestPooledAnalyzeAllocFree).

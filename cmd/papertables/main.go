@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/workloads"
 )
 
 func main() {
@@ -59,7 +60,8 @@ func main() {
 		}
 	}
 	if needShared {
-		fmt.Fprintf(os.Stderr, "running 12 benchmarks x 4 selectors (scale=%d)...\n", *scale)
+		fmt.Fprintf(os.Stderr, "running %d benchmarks x %d selectors (scale=%d)...\n",
+			len(workloads.SpecNames()), len(experiments.AllSelectors()), *scale)
 		var err error
 		res, err = experiments.RunAll(context.Background(), *scale, experiments.DefaultParams())
 		if err != nil {

@@ -94,6 +94,8 @@ var gridKeys = []struct{ key, doc string }{
 	{"leithreshold", "LEI selection thresholds"},
 	{"historycap", "LEI history-buffer capacities"},
 	{"tprof", "trace-combination profiling windows"},
+	{"phasewindow", "adaptive phase-detector window sizes (observations)"},
+	{"phasedwell", "adaptive phase-detector dwell windows (hysteresis)"},
 }
 
 func parseGrid(spec string) (sweep.Grid, error) {
@@ -134,7 +136,8 @@ func parseGrid(spec string) (sweep.Grid, error) {
 				return g, fmt.Errorf("scale %q: %w", val, err)
 			}
 			g.Scale = n
-		case "cachelimit", "netthreshold", "leithreshold", "historycap", "tprof":
+		case "cachelimit", "netthreshold", "leithreshold", "historycap", "tprof",
+			"phasewindow", "phasedwell":
 			ints := make([]int, len(vals))
 			for i, v := range vals {
 				n, err := strconv.Atoi(strings.TrimSpace(v))
@@ -176,6 +179,8 @@ func expandConfigs(axes map[string][]int) []sweep.Config {
 	expand("leithreshold", func(c *sweep.Config, v int) { c.Params.LEIThreshold = v })
 	expand("historycap", func(c *sweep.Config, v int) { c.Params.HistoryCap = v })
 	expand("tprof", func(c *sweep.Config, v int) { c.Params.TProf = v })
+	expand("phasewindow", func(c *sweep.Config, v int) { c.Params.PhaseWindow = v })
+	expand("phasedwell", func(c *sweep.Config, v int) { c.Params.PhaseDwell = v })
 	return configs
 }
 

@@ -10,7 +10,6 @@ package codecache
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/isa"
 	"repro/internal/program"
@@ -208,6 +207,7 @@ type Cache struct {
 	totalStubs     int
 	totalCodeBytes int
 	flushes        int
+	partitions     int
 
 	// Limit, in estimated bytes, for the bounded-cache extension; 0 means
 	// unbounded (the paper's configuration).
@@ -222,6 +222,10 @@ type Cache struct {
 	// zero steady-state allocations per promotion even under eviction-heavy
 	// bounded configurations.
 	free []*Region
+	// allScratch backs AllRegions so repeated analyses of a cache with
+	// evicted regions do not allocate; its contents are rebuilt on every
+	// call, so only capacity carries information across runs.
+	allScratch []*Region
 	// seen is validate's duplicate-block scratch, reused across insertions.
 	//lint:keep validate's scratch; nil-checked and cleared before every use
 	//lint:ignore densemap per-insert duplicate set, bounded by MaxTraceBlocks
@@ -277,8 +281,10 @@ func (c *Cache) Reset(p *program.Program, limitBytes int) {
 	c.seq = 0
 	c.totalInstrs, c.totalStubs, c.totalCodeBytes = 0, 0, 0
 	c.flushes = 0
+	c.partitions = 0
 	c.limitBytes = limitBytes
 	c.liveBytes, c.nextAddr = 0, 0
+	c.allScratch = c.allScratch[:0]
 }
 
 // Lookup returns the region whose entry is addr.
@@ -529,6 +535,26 @@ func (c *Cache) flush() {
 	// which is intended: their statistics remain valid for analysis.
 }
 
+// FlushPartition retires every live region without resetting the cache's
+// address space: the regions move to the evicted list, their entries are
+// invalidated, and live occupancy drops to zero, but — unlike the bounded
+// cache's flush — nextAddr keeps advancing, so regions inserted after the
+// call occupy a fresh, disjoint address range. The adaptive meta-selector
+// calls this on a policy switch: the retired partition's regions stay
+// visible to cumulative metrics (code expansion, per-region statistics)
+// while no region selected by the outgoing policy remains reachable, and
+// no future region can alias a retired one's cache address.
+func (c *Cache) FlushPartition() {
+	c.partitions++
+	c.evicted = append(c.evicted, c.regions...)
+	for _, r := range c.regions {
+		// Epoch 0 never matches the current epoch (it is always >= 1).
+		c.entries[r.Entry] = entryCell{}
+	}
+	c.regions = c.regions[:0]
+	c.liveBytes = 0
+}
+
 // EstimatedBytes estimates the region's cache footprint the way the paper
 // does for Figure 18: instruction bytes plus StubBytes per exit stub.
 func (r *Region) EstimatedBytes() int { return r.CodeBytes + r.Stubs*StubBytes }
@@ -537,14 +563,19 @@ func (r *Region) EstimatedBytes() int { return r.CodeBytes + r.Stubs*StubBytes }
 func (c *Cache) Regions() []*Region { return c.regions }
 
 // AllRegions returns every region ever selected (including evicted ones),
-// ordered by selection time.
+// ordered by selection time. No sort is needed: every flush (bounded-cache
+// eviction or FlushPartition) moves all live regions — already in ascending
+// SelectedSeq order — onto the evicted tail, and every region selected
+// afterwards gets a larger seq, so evicted followed by live is globally
+// ascending. The returned slice aliases internal storage and is valid only
+// until the next AllRegions, Insert, or Reset call.
 func (c *Cache) AllRegions() []*Region {
 	if len(c.evicted) == 0 {
 		return c.regions
 	}
-	all := append(append([]*Region(nil), c.evicted...), c.regions...)
-	sort.Slice(all, func(i, j int) bool { return all[i].SelectedSeq < all[j].SelectedSeq })
-	return all
+	c.allScratch = append(c.allScratch[:0], c.evicted...)
+	c.allScratch = append(c.allScratch, c.regions...)
+	return c.allScratch
 }
 
 // NumRegions returns the number of regions ever selected.
@@ -564,6 +595,10 @@ func (c *Cache) EstimatedBytes() int { return c.totalCodeBytes + c.totalStubs*St
 // Flushes returns how many times the bounded cache flushed (zero when
 // unbounded).
 func (c *Cache) Flushes() int { return c.flushes }
+
+// Partitions returns how many times FlushPartition retired a policy
+// partition (zero outside the adaptive meta-selector).
+func (c *Cache) Partitions() int { return c.partitions }
 
 // Program returns the program this cache serves.
 func (c *Cache) Program() *program.Program { return c.prog }

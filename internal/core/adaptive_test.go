@@ -1,0 +1,265 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// detectorEvents for driving the phase detector directly.
+var (
+	loopEvent = Event{Src: 10, Tgt: 2, Taken: true, Kind: vm.KindCond}
+	callEvent = Event{Src: 4, Tgt: 20, Taken: true, Kind: vm.KindCall}
+	indEvent  = Event{Src: 6, Tgt: 30, Taken: true, Kind: vm.KindIndJump}
+)
+
+// feedWindow drives exactly one full window of n interpreted transfers
+// plus the given number of cache exits (exits never advance the window),
+// built from the given counts; the remaining transfers are plain loop
+// events.
+func feedWindow(d *PhaseDetector, n, calls, inds, exits int) {
+	for i := 0; i < exits; i++ {
+		d.observeExit()
+	}
+	for i := 0; i < calls; i++ {
+		d.observe(callEvent)
+	}
+	for i := 0; i < inds; i++ {
+		d.observe(indEvent)
+	}
+	for i := n - calls - inds; i > 0; i-- {
+		d.observe(loopEvent)
+	}
+}
+
+// TestDetectorClassify pins the phase→policy mapping window by window:
+// with dwell 1 a single window determines the active policy.
+func TestDetectorClassify(t *testing.T) {
+	const n = 16
+	cases := []struct {
+		name               string
+		calls, inds, exits int
+		want               Policy
+	}{
+		{"loop-dominated stays net", 0, 0, 0, PolicyNET},
+		{"call-heavy goes lei", 4, 0, 0, PolicyLEI},
+		{"dispatch-heavy goes lei", 0, 2, 0, PolicyLEI},
+		{"region-leaky escalates net+comb", 0, 0, 4, PolicyNETComb},
+		{"call-heavy and leaky escalates lei+comb", 5, 0, 4, PolicyLEIComb},
+		{"below shares stays net", 2, 1, 2, PolicyNET},
+		{"exit flood means hot cache, not leaky", 0, 0, 3 * 16, PolicyNET},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var d PhaseDetector
+			d.reset(n, 1)
+			feedWindow(&d, n, tc.calls, tc.inds, tc.exits)
+			if d.Active() != tc.want {
+				t.Errorf("active %v, want %v", d.Active(), tc.want)
+			}
+		})
+	}
+}
+
+// TestDetectorDwellBound is the hysteresis property test: however fast the
+// observed regime flips, the detector can never switch policies more than
+// once per dwell completed windows (window*dwell interpreted transfers),
+// and a regime that flips faster than the dwell window produces no
+// switches at all.
+func TestDetectorDwellBound(t *testing.T) {
+	cases := []struct{ window, dwell, flipEvery int }{
+		{8, 1, 1},
+		{8, 2, 1},
+		{8, 2, 2},
+		{16, 3, 1},
+		{16, 3, 2},
+		{16, 3, 3},
+		{32, 2, 5},
+	}
+	for _, tc := range cases {
+		var d PhaseDetector
+		d.reset(tc.window, tc.dwell)
+		// Alternate between an all-loop regime (wants NET, the initial
+		// policy) and an all-call regime (wants LEI) every flipEvery
+		// windows — the fastest possible desired-policy flipping for this
+		// detector.
+		for w := 0; w < 200; w++ {
+			callRegime := (w/tc.flipEvery)%2 == 1
+			for i := 0; i < tc.window; i++ {
+				if callRegime {
+					d.observe(callEvent)
+				} else {
+					d.observe(loopEvent)
+				}
+			}
+		}
+		bound := d.Windows() / uint64(tc.dwell)
+		if d.Switches() > bound {
+			t.Errorf("window=%d dwell=%d flip=%d: %d switches in %d windows exceeds bound %d",
+				tc.window, tc.dwell, tc.flipEvery, d.Switches(), d.Windows(), bound)
+		}
+		if tc.flipEvery < tc.dwell && d.Switches() != 0 {
+			t.Errorf("window=%d dwell=%d: regime flipping every %d windows is faster than the dwell window yet switched %d times",
+				tc.window, tc.dwell, tc.flipEvery, d.Switches())
+		}
+		if tc.flipEvery >= tc.dwell && d.Switches() == 0 {
+			t.Errorf("window=%d dwell=%d flip=%d: a regime slower than the dwell window should eventually switch",
+				tc.window, tc.dwell, tc.flipEvery)
+		}
+	}
+}
+
+// TestDetectorGatesKeepActive drives the detector away from its initial
+// policy and then checks both classification gates hold it there: a window
+// whose exits dwarf its transfers (hot cache) and a window of straight-line
+// glue (no backward, call, or indirect branches) must not reclassify —
+// each would otherwise flush a partition that is serving the program well.
+func TestDetectorGatesKeepActive(t *testing.T) {
+	glueEvent := Event{Src: 2, Tgt: 9, Taken: true, Kind: vm.KindJump}
+	var d PhaseDetector
+	d.reset(16, 1)
+	feedWindow(&d, 16, 8, 0, 0) // call-heavy: active moves to LEI
+	if d.Active() != PolicyLEI {
+		t.Fatalf("setup: active %v, want lei", d.Active())
+	}
+	feedWindow(&d, 16, 0, 0, 3*16) // hot-cache window: exits at the steady gate
+	if d.Active() != PolicyLEI {
+		t.Errorf("steady-state exit flood reclassified to %v; should keep lei", d.Active())
+	}
+	for i := 0; i < 16; i++ { // glue window: forward taken jumps only
+		d.observe(glueEvent)
+	}
+	if d.Active() != PolicyLEI {
+		t.Errorf("evidence-free glue window reclassified to %v; should keep lei", d.Active())
+	}
+}
+
+// adaptiveTestParams returns a configuration with a tiny window and
+// threshold so unit tests can force selections and switches with few
+// events.
+func adaptiveTestParams() Params {
+	params := DefaultParams()
+	params.NETThreshold = 3
+	params.PhaseWindow = 8
+	params.PhaseDwell = 1
+	return params
+}
+
+// TestPhaseSelectorSwitchRetiresPartition drives the meta-selector through
+// a loop phase (NET selects a region) into an exit-heavy phase (the
+// detector escalates to net+comb) and checks the switch contract: the
+// partition is flushed, the old policy's region is no longer reachable,
+// its statistics survive in the merged Stats, and the detector actually
+// switched.
+func TestPhaseSelectorSwitchRetiresPartition(t *testing.T) {
+	p := leiProgram(t)
+	env := newFakeEnv(t, p)
+	sel := NewAdaptive(adaptiveTestParams())
+
+	// Two windows of backward branches to block A (addr 1): NET's counter
+	// crosses the threshold and the recorder closes the cyclic trace.
+	back := Event{Src: 6, Tgt: 1, Taken: true, Kind: vm.KindJump}
+	for i := 0; i < 16; i++ {
+		sel.Transfer(env, back)
+	}
+	if !env.cache.HasEntry(1) {
+		t.Fatal("NET phase selected no region at addr 1")
+	}
+	if got := sel.ActivePolicy(); got != PolicyNET {
+		t.Fatalf("active policy %v before any regime change", got)
+	}
+	preStats := sel.Stats()
+
+	// A leaky stretch: one exit per transfer is far above the escalation
+	// share but below the hot-cache gate, so the window completing on the
+	// 8th transfer escalates to net+comb with dwell 1.
+	for i := 0; i < 8; i++ {
+		sel.CacheExit(env, 8, 5)
+		sel.Transfer(env, back)
+	}
+	if got := sel.ActivePolicy(); got != PolicyNETComb {
+		t.Fatalf("active policy %v after exit-heavy window, want net+comb", got)
+	}
+	if n := sel.Detector().Switches(); n != 1 {
+		t.Fatalf("detector switches = %d, want 1", n)
+	}
+	if env.cache.Partitions() != 1 {
+		t.Fatalf("cache partitions = %d, want 1", env.cache.Partitions())
+	}
+	if env.cache.HasEntry(1) {
+		t.Fatal("old policy's region still reachable after the switch")
+	}
+	if len(env.cache.AllRegions()) == 0 {
+		t.Fatal("retired region vanished from cumulative accounting")
+	}
+	post := sel.Stats()
+	if post.CounterAllocs < preStats.CounterAllocs {
+		t.Fatalf("absorbed CounterAllocs went backwards: %d -> %d", preStats.CounterAllocs, post.CounterAllocs)
+	}
+	if post.CountersHighWater < preStats.CountersHighWater {
+		t.Fatalf("absorbed CountersHighWater went backwards: %d -> %d", preStats.CountersHighWater, post.CountersHighWater)
+	}
+}
+
+// TestAdaptiveSteadyStateAllocFree pins the zero-allocation contract of the
+// adaptive hot path: once every sub-policy's tables are warm, driving the
+// meta-selector through full regime cycles — windows completing, policies
+// switching back and forth, partitions flushing, exits observed — must not
+// allocate. Region formation is excluded (thresholds are set unreachably
+// high) because building a region allocates by design the first time; what
+// this test protects is the per-transfer detector/switch path that runs on
+// every interpreted branch of every workload.
+func TestAdaptiveSteadyStateAllocFree(t *testing.T) {
+	p := leiProgram(t)
+	env := newFakeEnv(t, p)
+	params := DefaultParams()
+	params.PhaseWindow = 8
+	params.PhaseDwell = 1
+	params.NETThreshold = 1 << 30
+	params.LEIThreshold = 1 << 30
+	sel := NewAdaptive(params)
+
+	back := Event{Src: 6, Tgt: 1, Taken: true, Kind: vm.KindJump}
+	// One cycle = a loop regime (wants NET) then a call regime (wants LEI),
+	// each long enough to clear the dwell and cooldown windows, so steady
+	// state performs two policy switches per cycle. The lone exit stays
+	// below the escalation share (32/256 < 40/256), keeping the regimes'
+	// classifications clean while still exercising the exit path.
+	cycle := func() {
+		for i := 0; i < 4*8; i++ {
+			sel.Transfer(env, back)
+		}
+		sel.CacheExit(env, 8, 5)
+		for i := 0; i < 4*8; i++ {
+			sel.Transfer(env, callEvent)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		cycle()
+	}
+	pre := sel.Detector().Switches()
+	allocs := testing.AllocsPerRun(50, cycle)
+	if sel.Detector().Switches() <= pre {
+		t.Fatal("measured cycles performed no policy switches; the test is not covering the switch path")
+	}
+	if allocs != 0 {
+		t.Errorf("steady-state adaptive cycle allocated %.1f times, want 0", allocs)
+	}
+}
+
+// TestPolicyString pins the policy names to the selector names they
+// activate.
+func TestPolicyString(t *testing.T) {
+	want := map[Policy]string{
+		PolicyNET:     "net",
+		PolicyLEI:     "lei",
+		PolicyNETComb: "net+comb",
+		PolicyLEIComb: "lei+comb",
+		NumPolicies:   "invalid",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("Policy(%d).String() = %q, want %q", p, p.String(), s)
+		}
+	}
+}

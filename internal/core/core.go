@@ -134,6 +134,17 @@ type Params struct {
 	MaxTraceInstrs int
 	// MaxTraceBlocks bounds trace length in blocks.
 	MaxTraceBlocks int
+	// PhaseWindow is the number of interpreted transfers the adaptive
+	// meta-selector aggregates before classifying the current program phase
+	// (extension beyond the paper; see PhaseSelector). Cache exits are
+	// tallied alongside but do not advance the window, so windows complete
+	// quickly exactly when the cache is cold or mismatched.
+	PhaseWindow int
+	// PhaseDwell is the number of consecutive windows that must agree on a
+	// policy before the adaptive meta-selector switches to it — the
+	// hysteresis that prevents policy thrash. Switches are therefore at
+	// least PhaseWindow*PhaseDwell interpreted transfers apart.
+	PhaseDwell int
 
 	// Ablation switches (extensions beyond the paper, for studying its
 	// design choices; all false in the paper's configuration).
@@ -166,6 +177,8 @@ func DefaultParams() Params {
 		TMin:           5,
 		MaxTraceInstrs: 1024,
 		MaxTraceBlocks: 128,
+		PhaseWindow:    256,
+		PhaseDwell:     3,
 	}
 }
 
@@ -192,6 +205,12 @@ func (p Params) withDefaults() Params {
 	}
 	if p.MaxTraceBlocks <= 0 {
 		p.MaxTraceBlocks = d.MaxTraceBlocks
+	}
+	if p.PhaseWindow <= 0 {
+		p.PhaseWindow = d.PhaseWindow
+	}
+	if p.PhaseDwell <= 0 {
+		p.PhaseDwell = d.PhaseDwell
 	}
 	return p
 }

@@ -1,0 +1,89 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// adaptiveFuzzParams derives adaptive-selector parameters with windows
+// small enough that short fuzz inputs cross several window boundaries, so
+// the policy-switch machinery (stats absorption, Reset of the outgoing
+// policy, partition flush) actually runs instead of idling below the
+// default 256-observation window.
+func adaptiveFuzzParams(progSeed uint8) core.Params {
+	params := RandomParams(int64(progSeed))
+	params.PhaseWindow = 8 + int(progSeed%8)
+	params.PhaseDwell = 1 + int(progSeed%3)
+	return params
+}
+
+// FuzzAdaptiveSelect cross-checks the adaptive meta-selector (in-place
+// Reset policy pool, dense sub-selectors) against the frozen reference
+// (construct-fresh-on-switch, map-based sub-selectors) on arbitrary branch
+// streams, checks the dwell-hysteresis bound on whatever the stream did,
+// and pins pooled Reset-then-reuse to fresh construction the way
+// FuzzCombinedSelect does for the combiners.
+func FuzzAdaptiveSelect(f *testing.F) {
+	fuzzSeeds(f)
+	// Pathological oscillation: alternating bursts of taken transfers and
+	// cache-exit records, each burst roughly two small windows long, so the
+	// classifier's desired policy keeps flipping and the dwell counter is
+	// exercised across many would-be switches.
+	osc := make([]byte, 0, 40*3)
+	for burst := 0; burst < 10; burst++ {
+		for i := 0; i < 4; i++ {
+			if burst%2 == 0 {
+				osc = append(osc, byte(3*i), byte(i), 1)
+			} else {
+				osc = append(osc, byte(5*i), byte(i), 0x80)
+			}
+		}
+	}
+	f.Add(uint8(1), osc)
+	// Phase boundary straddling a window boundary: a long uniform prefix
+	// whose length is not a multiple of any small window, then an abrupt
+	// regime change, so classification flips mid-window rather than neatly
+	// at a burst edge.
+	straddle := make([]byte, 0, 45*3)
+	for i := 0; i < 31; i++ {
+		straddle = append(straddle, byte(2*i), byte(i), 1)
+	}
+	for i := 0; i < 14; i++ {
+		straddle = append(straddle, byte(7*i), byte(i), 0x80)
+	}
+	f.Add(uint8(3), straddle)
+	f.Fuzz(func(t *testing.T, progSeed uint8, data []byte) {
+		p := fuzzProgram(progSeed)
+		params := adaptiveFuzzParams(progSeed)
+
+		dense := core.NewAdaptive(params)
+		if err := CompareStreams(p, dense, NewRefPhaseSelector(params), data); err != nil {
+			t.Fatalf("adaptive: %v", err)
+		}
+		det := dense.Detector()
+		if limit := det.Windows() / uint64(params.PhaseDwell); det.Switches() > limit {
+			t.Fatalf("adaptive: %d switches in %d windows exceeds dwell bound %d (window %d, dwell %d)",
+				det.Switches(), det.Windows(), limit, params.PhaseWindow, params.PhaseDwell)
+		}
+
+		// Reset-then-reuse vs fresh: pollute a pooled instance with a
+		// different program, parameter point, and the same stream, then
+		// Reset it and require bit-identical behavior to a new instance.
+		fresh := core.NewAdaptive(params)
+		fenv := FeedStream(p, fresh, data)
+		pooled := core.NewAdaptive(adaptiveFuzzParams(progSeed + 3))
+		FeedStream(fuzzProgram(progSeed+1), pooled, data)
+		pooled.Reset(params)
+		penv := FeedStream(p, pooled, data)
+		if len(fenv.errs) != len(penv.errs) {
+			t.Fatalf("adaptive: selector error divergence: fresh=%v pooled=%v", fenv.errs, penv.errs)
+		}
+		if fs, ps := fresh.Stats(), pooled.Stats(); fs != ps {
+			t.Fatalf("adaptive: stats divergence after Reset: fresh=%+v pooled=%+v", fs, ps)
+		}
+		if err := CompareCaches(fenv.cache, penv.cache); err != nil {
+			t.Fatalf("adaptive: %v", err)
+		}
+	})
+}

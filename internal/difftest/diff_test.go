@@ -133,6 +133,7 @@ func TestDiffPooledScratch(t *testing.T) {
 		func() core.Selector { return core.NewLEI(params) },
 		func() core.Selector { return core.NewCombiner(core.BaseNET, params) },
 		func() core.Selector { return core.NewCombiner(core.BaseLEI, params) },
+		func() core.Selector { return core.NewAdaptive(params) },
 	}
 	scratch := &dynopt.Scratch{}
 	for _, name := range workloads.SpecNames() {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dynopt"
 	"repro/internal/isa"
 	"repro/internal/program"
+	"repro/internal/vm"
 )
 
 // CompareRun executes p to completion under the dense production selector
@@ -137,6 +138,7 @@ func FeedStream(p *program.Program, sel core.Selector, data []byte) *streamEnv {
 		ev := core.Event{
 			Src:     src,
 			Tgt:     tgt,
+			Kind:    streamKind(p, src),
 			Taken:   ctl&1 != 0,
 			ToCache: env.cache.HasEntry(tgt),
 		}
@@ -151,6 +153,27 @@ func FeedStream(p *program.Program, sel core.Selector, data []byte) *streamEnv {
 		}
 	}
 	return env
+}
+
+// streamKind derives the branch kind the simulator would report for a
+// taken transfer leaving the instruction at src, so synthetic streams
+// carry the same Kind mix real runs do (the adaptive meta-selector
+// classifies phases by it).
+func streamKind(p *program.Program, src isa.Addr) vm.BranchKind {
+	switch p.At(src).Op {
+	case isa.Br:
+		return vm.KindCond
+	case isa.Call:
+		return vm.KindCall
+	case isa.CallInd:
+		return vm.KindIndCall
+	case isa.JmpInd:
+		return vm.KindIndJump
+	case isa.Ret:
+		return vm.KindReturn
+	default:
+		return vm.KindJump
+	}
 }
 
 // stepRegion advances one cache-resident step: sel and tgtByte steer the
@@ -217,6 +240,8 @@ func RandomParams(seed int64) core.Params {
 	params.HistoryCap = 8 + int(seed%5)*31
 	params.MaxTraceInstrs = 64 + int(seed%3)*128
 	params.MaxTraceBlocks = 8 + int(seed%4)*16
+	params.PhaseWindow = 32 + int(seed%6)*48
+	params.PhaseDwell = 1 + int(seed%3)
 	return params
 }
 
@@ -228,9 +253,11 @@ type Pair struct {
 }
 
 // Pairs returns fresh production/reference selector pairs for every
-// algorithm with a frozen reference: NET, Mojo-NET, LEI, and both
+// algorithm with a frozen reference: NET, Mojo-NET, LEI, both
 // trace-combination selectors (arena-backed production vs the frozen
-// per-trace-allocating map-based stack).
+// per-trace-allocating map-based stack), and the adaptive meta-selector
+// (in-place-Reset policy pool vs the frozen construct-fresh-on-switch
+// formulation).
 func Pairs(params core.Params) []Pair {
 	return []Pair{
 		{Name: "net", Dense: core.NewNET(params), Ref: NewRefNET(params)},
@@ -238,5 +265,6 @@ func Pairs(params core.Params) []Pair {
 		{Name: "lei", Dense: core.NewLEI(params), Ref: NewRefLEI(params)},
 		{Name: "net+comb", Dense: core.NewCombiner(core.BaseNET, params), Ref: NewRefCombiner(core.BaseNET, params)},
 		{Name: "lei+comb", Dense: core.NewCombiner(core.BaseLEI, params), Ref: NewRefCombiner(core.BaseLEI, params)},
+		{Name: "adaptive", Dense: core.NewAdaptive(params), Ref: NewRefPhaseSelector(params)},
 	}
 }

@@ -1,0 +1,250 @@
+package difftest
+
+import (
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// Frozen duplicates of the adaptive meta-selector's phase-classification
+// thresholds (1/256 shares of a window; see internal/core/adaptive.go).
+// They are spelled out here independently so a change to the production
+// constants diverges the reference instead of silently retuning both.
+const (
+	refIndShare256   = 24
+	refCallShare256  = 48
+	refExitShare256  = 40
+	refSteadyExit256 = 768
+)
+
+// RefPhaseDetector is the frozen twin of core.PhaseDetector: the same
+// windowed counters and dwell hysteresis, duplicated so the reference
+// selector stack shares no code with the implementation under test.
+type RefPhaseDetector struct {
+	window int
+	dwell  int
+
+	n     int
+	taken int
+	back  int
+	call  int
+	ind   int
+	exit  int
+
+	active  core.Policy
+	desired core.Policy
+	streak  int
+	cool    int
+
+	capNow      int
+	capAtWindow int
+
+	windows  uint64
+	switches uint64
+	total    uint64
+}
+
+// NewRefPhaseDetector returns a detector in its initial (NET-active) state.
+func NewRefPhaseDetector(window, dwell int) *RefPhaseDetector {
+	return &RefPhaseDetector{window: window, dwell: dwell}
+}
+
+// Observe records one interpreted transfer; it reports whether the window
+// it completed switched the active policy.
+func (d *RefPhaseDetector) Observe(ev core.Event) bool {
+	d.n++
+	d.total++
+	if ev.Taken {
+		d.taken++
+		if ev.Tgt <= ev.Src {
+			d.back++
+		}
+		switch ev.Kind {
+		case vm.KindCall, vm.KindReturn:
+			d.call++
+		case vm.KindIndCall, vm.KindIndJump:
+			d.ind++
+		}
+	}
+	if d.n >= d.window {
+		return d.endWindow()
+	}
+	return false
+}
+
+// ObserveExit records one cache exit. Windows are measured in interpreted
+// transfers only, so an exit can never complete one.
+func (d *RefPhaseDetector) ObserveExit() {
+	d.total++
+	d.exit++
+}
+
+// NotePressure records the cache's cumulative capacity-flush count.
+func (d *RefPhaseDetector) NotePressure(capacityFlushes int) {
+	d.capNow = capacityFlushes
+}
+
+func (d *RefPhaseDetector) endWindow() bool {
+	want := d.classify()
+	d.windows++
+	d.n, d.taken, d.back, d.call, d.ind, d.exit = 0, 0, 0, 0, 0, 0
+	d.capAtWindow = d.capNow
+	if d.cool > 0 {
+		d.cool--
+		d.desired = d.active
+		d.streak = 0
+		return false
+	}
+	if want == d.active {
+		d.desired = d.active
+		d.streak = 0
+		return false
+	}
+	if want == d.desired {
+		d.streak++
+	} else {
+		d.desired = want
+		d.streak = 1
+	}
+	if d.streak < d.dwell {
+		return false
+	}
+	d.active = want
+	d.streak = 0
+	d.cool = d.dwell
+	d.switches++
+	return true
+}
+
+func (d *RefPhaseDetector) classify() core.Policy {
+	n := d.n
+	if d.exit*256 >= n*refSteadyExit256 {
+		return d.active
+	}
+	if d.back+d.call+d.ind == 0 {
+		return d.active
+	}
+	base := core.PolicyNET
+	if d.ind*256 >= n*refIndShare256 || d.call*256 >= n*refCallShare256 {
+		base = core.PolicyLEI
+	}
+	leaky := d.exit*256 >= n*refExitShare256
+	pressured := d.capNow != d.capAtWindow
+	if leaky || pressured {
+		if base == core.PolicyNET {
+			return core.PolicyNETComb
+		}
+		return core.PolicyLEIComb
+	}
+	return base
+}
+
+// Active returns the policy the detector currently prescribes.
+func (d *RefPhaseDetector) Active() core.Policy { return d.active }
+
+// Switches returns how many times the active policy has changed.
+func (d *RefPhaseDetector) Switches() uint64 { return d.switches }
+
+// Windows returns how many observation windows have completed.
+func (d *RefPhaseDetector) Windows() uint64 { return d.windows }
+
+// Observations returns the total number of observations ever recorded.
+func (d *RefPhaseDetector) Observations() uint64 { return d.total }
+
+// RefPhaseSelector is the frozen twin of core.PhaseSelector: it dispatches
+// to the frozen reference policies (RefNET, RefLEI, RefCombiner) and
+// switches between them on RefPhaseDetector decisions. Where the
+// production selector Resets the outgoing policy in place, the reference
+// simply constructs a fresh instance — the Reset-vs-fresh equivalence the
+// difftest harness pins elsewhere makes the two formulations equivalent,
+// which is exactly what the adaptive differential tests check end to end.
+type RefPhaseSelector struct {
+	params core.Params
+	det    *RefPhaseDetector
+	subs   map[core.Policy]core.Selector
+	active core.Policy
+
+	accCounterAllocs  uint64
+	accObservedTraces uint64
+	accCountersHigh   int
+	accObservedHigh   int
+}
+
+// NewRefPhaseSelector returns the reference adaptive meta-selector.
+func NewRefPhaseSelector(params core.Params) *RefPhaseSelector {
+	params = withDefaults(params)
+	a := &RefPhaseSelector{
+		params: params,
+		det:    NewRefPhaseDetector(params.PhaseWindow, params.PhaseDwell),
+		subs:   map[core.Policy]core.Selector{},
+	}
+	for p := core.PolicyNET; p < core.NumPolicies; p++ {
+		a.subs[p] = newRefPolicy(p, params)
+	}
+	return a
+}
+
+func newRefPolicy(p core.Policy, params core.Params) core.Selector {
+	switch p {
+	case core.PolicyNET:
+		return NewRefNET(params)
+	case core.PolicyLEI:
+		return NewRefLEI(params)
+	case core.PolicyNETComb:
+		return NewRefCombiner(core.BaseNET, params)
+	default:
+		return NewRefCombiner(core.BaseLEI, params)
+	}
+}
+
+// Name implements core.Selector, matching the production name.
+func (a *RefPhaseSelector) Name() string { return "adaptive" }
+
+// Detector exposes the reference detector for the hysteresis tests.
+func (a *RefPhaseSelector) Detector() *RefPhaseDetector { return a.det }
+
+// Transfer implements core.Selector.
+func (a *RefPhaseSelector) Transfer(env core.Env, ev core.Event) {
+	a.subs[a.active].Transfer(env, ev)
+	a.det.NotePressure(env.Cache().Flushes())
+	if a.det.Observe(ev) {
+		a.switchTo(env, a.det.Active())
+	}
+}
+
+// CacheExit implements core.Selector.
+func (a *RefPhaseSelector) CacheExit(env core.Env, src, tgt isa.Addr) {
+	a.subs[a.active].CacheExit(env, src, tgt)
+	a.det.ObserveExit()
+}
+
+func (a *RefPhaseSelector) switchTo(env core.Env, next core.Policy) {
+	st := a.subs[a.active].Stats()
+	a.accCounterAllocs += st.CounterAllocs
+	a.accObservedTraces += st.ObservedTraces
+	if st.CountersHighWater > a.accCountersHigh {
+		a.accCountersHigh = st.CountersHighWater
+	}
+	if st.ObservedBytesHighWater > a.accObservedHigh {
+		a.accObservedHigh = st.ObservedBytesHighWater
+	}
+	a.subs[a.active] = newRefPolicy(a.active, a.params)
+	env.Cache().FlushPartition()
+	a.active = next
+}
+
+// Stats implements core.Selector, merging the active policy's live
+// statistics with those absorbed from retired partitions.
+func (a *RefPhaseSelector) Stats() core.ProfileStats {
+	st := a.subs[a.active].Stats()
+	st.CounterAllocs += a.accCounterAllocs
+	st.ObservedTraces += a.accObservedTraces
+	if a.accCountersHigh > st.CountersHighWater {
+		st.CountersHighWater = a.accCountersHigh
+	}
+	if a.accObservedHigh > st.ObservedBytesHighWater {
+		st.ObservedBytesHighWater = a.accObservedHigh
+	}
+	st.HistoryCap = a.params.HistoryCap
+	return st
+}

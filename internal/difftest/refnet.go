@@ -35,6 +35,12 @@ func withDefaults(p core.Params) core.Params {
 	if p.MaxTraceBlocks <= 0 {
 		p.MaxTraceBlocks = d.MaxTraceBlocks
 	}
+	if p.PhaseWindow <= 0 {
+		p.PhaseWindow = d.PhaseWindow
+	}
+	if p.PhaseDwell <= 0 {
+		p.PhaseDwell = d.PhaseDwell
+	}
 	return p
 }
 

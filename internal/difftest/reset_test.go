@@ -26,6 +26,7 @@ func resettableMakers() []resettableMaker {
 		{"lei", func(p core.Params) core.Selector { return core.NewLEI(p) }},
 		{"net-combined", func(p core.Params) core.Selector { return core.NewCombiner(core.BaseNET, p) }},
 		{"lei-combined", func(p core.Params) core.Selector { return core.NewCombiner(core.BaseLEI, p) }},
+		{"adaptive", func(p core.Params) core.Selector { return core.NewAdaptive(p) }},
 	}
 }
 

@@ -22,14 +22,17 @@ import (
 // Selectors used throughout, in presentation order. The canonical names
 // live in package sweep; these aliases keep the harness API stable.
 const (
-	NET     = sweep.NET
-	LEI     = sweep.LEI
-	NETComb = sweep.NETComb
-	LEIComb = sweep.LEIComb
+	NET      = sweep.NET
+	LEI      = sweep.LEI
+	NETComb  = sweep.NETComb
+	LEIComb  = sweep.LEIComb
+	Adaptive = sweep.Adaptive
 )
 
-// AllSelectors returns the four configurations the paper evaluates.
-func AllSelectors() []string { return sweep.PaperSelectors() }
+// AllSelectors returns the harness's evaluation set: the paper's four
+// configurations plus the adaptive per-phase meta-selector — the "dynamic"
+// column the paper never had.
+func AllSelectors() []string { return append(sweep.PaperSelectors(), Adaptive) }
 
 // DefaultParams returns the paper's published algorithm parameters.
 func DefaultParams() core.Params { return core.DefaultParams() }

@@ -23,7 +23,7 @@ import (
 // ExtraIDs lists the sensitivity-sweep and ablation studies, which run
 // their own simulation matrices rather than consuming a shared Results.
 func ExtraIDs() []string {
-	return []string{"sweep-tprof", "sweep-buffer", "sweep-threshold", "ablation", "random-corpus", "bounded", "optimizer", "related", "persistent", "loops", "icache", "inputs"}
+	return []string{"sweep-tprof", "sweep-buffer", "sweep-threshold", "ablation", "random-corpus", "bounded", "optimizer", "related", "persistent", "loops", "icache", "inputs", "dynamic"}
 }
 
 // BuildExtra regenerates one sweep or ablation study at the given scale.
@@ -53,6 +53,8 @@ func BuildExtra(id string, scale int) (Figure, error) {
 		return ICacheStudy(scale)
 	case "inputs":
 		return InputSensitivity(scale)
+	case "dynamic":
+		return DynamicStudy(scale)
 	default:
 		return Figure{}, fmt.Errorf("experiments: unknown extra figure %q", id)
 	}

@@ -57,3 +57,36 @@ func (q *Quiet) Reset() {}
 type ByValue struct{ n int }
 
 func (b ByValue) Reset() {}
+
+// Meta mirrors the adaptive meta-selector's Reset shape: a fixed array of
+// sub-components re-armed element by element through an indexed method
+// call, a nested detector re-armed through a helper method, and plain
+// counters cleared directly.
+type Meta struct {
+	subs [4]inner
+	det  inner
+	cool int
+}
+
+func (m *Meta) Reset() {
+	for i := range m.subs {
+		m.subs[i].Reset()
+	}
+	m.det.Reset()
+	m.cool = 0
+}
+
+// MetaLoose ranges over its sub-components by value, so each Reset re-arms
+// a copy and the array keeps its stale state — the analyzer reports the
+// field because no assignment, call argument, or method call roots in it.
+// Index the field directly (Meta above) or annotate a deliberate carry-over
+// with //lint:keep.
+type MetaLoose struct {
+	subs [4]inner // want "field subs of MetaLoose is not reset"
+}
+
+func (m *MetaLoose) Reset() {
+	for _, s := range m.subs {
+		s.Reset()
+	}
+}

@@ -7,15 +7,17 @@ import (
 )
 
 // Selector configuration names. The first four are the paper's evaluation
-// set; the rest are the §5 related-work comparisons.
+// set; Adaptive is the per-phase meta-selector (ROADMAP direction 2); the
+// rest are the §5 related-work comparisons.
 const (
-	NET     = "net"
-	LEI     = "lei"
-	NETComb = "net+comb"
-	LEIComb = "lei+comb"
-	MojoNET = "mojo-net"
-	BOA     = "boa"
-	WRS     = "wrs"
+	NET      = "net"
+	LEI      = "lei"
+	NETComb  = "net+comb"
+	LEIComb  = "lei+comb"
+	Adaptive = "adaptive"
+	MojoNET  = "mojo-net"
+	BOA      = "boa"
+	WRS      = "wrs"
 )
 
 // PaperSelectors returns the four configurations the paper evaluates, in
@@ -35,6 +37,8 @@ func NewSelector(name string, params core.Params) (core.Selector, error) {
 		return core.NewCombiner(core.BaseNET, params), nil
 	case LEIComb:
 		return core.NewCombiner(core.BaseLEI, params), nil
+	case Adaptive:
+		return core.NewAdaptive(params), nil
 	case MojoNET:
 		return core.NewMojoNET(params, 30), nil
 	case BOA:

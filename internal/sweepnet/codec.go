@@ -13,14 +13,14 @@ import (
 // definition, and the reflection round-trip test catches a field encoded
 // under the wrong slot.
 const (
-	paramsFieldCount = 10 // core.Params: 7 ints + 3 ablation bools
+	paramsFieldCount = 12 // core.Params: 9 ints + 3 ablation bools
 	reportFieldCount = 34 // metrics.Report
 	// reportFloatCount is how many Report fields are float64s, which encode
 	// as fixed 8-byte values rather than one-byte-minimum varints.
 	reportFloatCount = 8
-	// minConfigBytes is the smallest encoding of one sweep.Config: eight
+	// minConfigBytes is the smallest encoding of one sweep.Config: ten
 	// one-byte varints plus the ablation flag byte.
-	minConfigBytes = 9
+	minConfigBytes = 11
 	// minResultBytes is the smallest encoding of one result: index varint,
 	// the two string length prefixes, eight bytes per float, the bool byte,
 	// and one byte for each remaining varint field. The zero value encodes
@@ -115,6 +115,8 @@ func encodeConfig(w *wbuf, c sweep.Config) {
 	w.putI(int64(p.TMin))
 	w.putI(int64(p.MaxTraceInstrs))
 	w.putI(int64(p.MaxTraceBlocks))
+	w.putI(int64(p.PhaseWindow))
+	w.putI(int64(p.PhaseDwell))
 	var flags byte
 	if p.AblateLEIExitGrowth {
 		flags |= flagAblateLEIExitGrowth
@@ -130,11 +132,12 @@ func encodeConfig(w *wbuf, c sweep.Config) {
 
 func decodeConfig(r *rbuf) (sweep.Config, error) {
 	var c sweep.Config
-	// Eight signed fields in declaration order, then the flag byte.
-	dst := [8]*int{
+	// Ten signed fields in declaration order, then the flag byte.
+	dst := [10]*int{
 		&c.CacheLimitBytes,
 		&c.Params.NETThreshold, &c.Params.LEIThreshold, &c.Params.HistoryCap,
 		&c.Params.TProf, &c.Params.TMin, &c.Params.MaxTraceInstrs, &c.Params.MaxTraceBlocks,
+		&c.Params.PhaseWindow, &c.Params.PhaseDwell,
 	}
 	for _, p := range dst {
 		v, err := r.i()

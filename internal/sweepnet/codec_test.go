@@ -56,7 +56,7 @@ func randomGrid(rng *rand.Rand) sweep.Grid {
 		g.Workloads = append(g.Workloads, names[rng.Intn(len(names))])
 	}
 	g.Scale = rng.Intn(2000) - 100
-	sels := []string{"net", "lei", "net+comb", "lei+comb", "mojo-net"}
+	sels := []string{"net", "lei", "net+comb", "lei+comb", "adaptive", "mojo-net"}
 	for i := rng.Intn(4); i > 0; i-- {
 		g.Selectors = append(g.Selectors, sels[rng.Intn(len(sels))])
 	}
@@ -70,6 +70,8 @@ func randomGrid(rng *rand.Rand) sweep.Grid {
 		c.Params.TMin = rng.Intn(100)
 		c.Params.MaxTraceInstrs = rng.Intn(10000)
 		c.Params.MaxTraceBlocks = rng.Intn(1000)
+		c.Params.PhaseWindow = rng.Intn(2048)
+		c.Params.PhaseDwell = rng.Intn(16)
 		c.Params.AblateLEIExitGrowth = rng.Intn(2) == 0
 		c.Params.AblateRejoinPaths = rng.Intn(2) == 0
 		c.Params.AblateNETBackwardStop = rng.Intn(2) == 0

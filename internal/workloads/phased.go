@@ -1,0 +1,87 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"repro/internal/program"
+)
+
+func init() {
+	register(Workload{
+		Name: "phased",
+		Description: "seeded phase-regime generator: long homogeneous " +
+			"loop-nest, call-heavy, and jump-table-dispatch phases stitched " +
+			"in sequence (several rounds of fresh kernels, so a phase-aware " +
+			"selector must keep switching and finished phases leave dead " +
+			"code), sized to a target dynamic instruction count (scale; " +
+			"default 2.4×10⁵) — the adaptive meta-selector's showcase " +
+			"workload",
+		DefaultScale: 240_000,
+		Build:        func(s int) *program.Program { return Phased(0xFA5E, scaleOr(s, 240_000)) },
+		BuildSeeded:  func(s int, seed int64) *program.Program { return Phased(0xFA5E^seed, scaleOr(s, 240_000)) },
+	})
+}
+
+// Phased builds a seeded program whose execution moves through distinct,
+// long-lived phase regimes: a loop-nest phase (tight counted nests —
+// backward-branch-dominated, NET's home turf), a call-heavy phase (helper
+// chains invoked from loops — the interprocedural cycles LEI detects), and
+// a jump-table phase (indirect dispatch through in-memory tables — the
+// megamorphic mix), in that order, over several rounds — with fresh
+// kernels in every round, the staged-program shape (init → compute →
+// output → next stage) where code a phase leaves behind is never
+// executed again. Unlike
+// Synthetic, which shuffles kernel kinds randomly so every region of time
+// looks alike, Phased keeps each regime homogeneous and consecutive, so a
+// phase detector sees an unambiguous signal, must switch back and forth
+// across regimes, and dead regions from finished phases are pure cache
+// liability for any selector that keeps them. Same seed and size ⇒
+// byte-identical program and bit-identical execution; every loop is
+// counted, so the program always terminates.
+func Phased(seed int64, size int) *program.Program {
+	if size <= 0 {
+		size = 240_000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	a := newAsm()
+	a.Jmp("main")
+
+	// Several rounds of three regimes; every regime is a few kernels of one
+	// kind sharing the regime's dynamic-instruction budget, and each round
+	// gets its own kernels (unit ids offset by 300) so finished phases
+	// leave only dead code behind. Six rounds keep individual phases short
+	// enough that a static selector's per-phase region investment is a real
+	// cost (dead regions pile up 18 times), while each phase still runs
+	// long enough for an online detector to classify it and profit.
+	const rounds = 6
+	kernels := 2 + rng.Intn(2)
+	budget := size / (3 * rounds * kernels)
+	g := &synthGen{asm: a, rng: rng}
+	var phases [][]synthUnit
+	for round := 0; round < rounds; round++ {
+		base := 300 * round
+		nest := make([]synthUnit, 0, kernels)
+		calls := make([]synthUnit, 0, kernels)
+		disp := make([]synthUnit, 0, kernels)
+		for i := 0; i < kernels; i++ {
+			nest = append(nest, g.loopNest(base+i, budget))
+		}
+		for i := 0; i < kernels; i++ {
+			calls = append(calls, g.callGraph(base+100+i, budget))
+		}
+		for i := 0; i < kernels; i++ {
+			disp = append(disp, g.indirectDispatch(base+200+i, budget))
+		}
+		phases = append(phases, nest, calls, disp)
+	}
+
+	a.Func("main")
+	a.seed(seed | 1)
+	for _, phase := range phases {
+		for _, u := range phase {
+			a.Call(u.entry)
+		}
+	}
+	a.Halt()
+	return a.MustBuild()
+}

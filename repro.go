@@ -54,6 +54,9 @@ const (
 	SelectorLEI     = "lei"
 	SelectorNETComb = "net+comb"
 	SelectorLEIComb = "lei+comb"
+	// SelectorAdaptive is the per-phase meta-selector switching between
+	// the four static policies online (DESIGN.md §7).
+	SelectorAdaptive = "adaptive"
 	// Related-work schemes (paper §5).
 	SelectorMojoNET = "mojo-net"
 	SelectorBOA     = "boa"
@@ -64,7 +67,7 @@ const (
 func SelectorNames() []string {
 	return []string{
 		SelectorNET, SelectorLEI, SelectorNETComb, SelectorLEIComb,
-		SelectorMojoNET, SelectorBOA, SelectorWRS,
+		SelectorAdaptive, SelectorMojoNET, SelectorBOA, SelectorWRS,
 	}
 }
 
@@ -80,6 +83,8 @@ func NewSelector(name string, params Params) (Selector, error) {
 		return core.NewCombiner(core.BaseNET, params), nil
 	case SelectorLEIComb:
 		return core.NewCombiner(core.BaseLEI, params), nil
+	case SelectorAdaptive:
+		return core.NewAdaptive(params), nil
 	case SelectorMojoNET:
 		return core.NewMojoNET(params, 30), nil
 	case SelectorBOA:

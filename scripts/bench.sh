@@ -5,14 +5,16 @@
 #   scripts/bench.sh [count] [bench-regex]
 #
 # count is the -count passed to `go test` (default 5). bench-regex
-# optionally restricts which benchmarks run (default: the seven recorded
-# ones). Seven benchmarks are recorded: BenchmarkPipeline (the full
+# optionally restricts which benchmarks run (default: the eight recorded
+# ones). Eight benchmarks are recorded: BenchmarkPipeline (the full
 # experiment matrix), BenchmarkPipelineLarge (the synthetic large-program
 # stress run), BenchmarkSweep (the sharded sweep engine at each shard
 # count), BenchmarkSweepRemote (the same grid through the wire protocol
 # and two loopback sweepd workers — the delta against BenchmarkSweep is
 # the distribution overhead), BenchmarkLEI (the pooled-scratch LEI
-# selection path), BenchmarkCombine (the trace-combination selectors over
+# selection path), BenchmarkAdaptive (the adaptive meta-selector on the
+# phased workload — detector accounting plus policy switches),
+# BenchmarkCombine (the trace-combination selectors over
 # the micro and synthetic workloads), and BenchmarkAnalyze (the pooled
 # metrics analyzer). The JSON holds one object
 # per run with each benchmark's normalized metrics (ns and heap bytes per
@@ -25,7 +27,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 count="${1:-5}"
-benchre="${2:-^(BenchmarkPipeline|BenchmarkPipelineLarge|BenchmarkSweep|BenchmarkSweepRemote|BenchmarkLEI|BenchmarkCombine|BenchmarkAnalyze)$}"
+benchre="${2:-^(BenchmarkPipeline|BenchmarkPipelineLarge|BenchmarkSweep|BenchmarkSweepRemote|BenchmarkLEI|BenchmarkAdaptive|BenchmarkCombine|BenchmarkAnalyze)$}"
 out="BENCH_pipeline.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT

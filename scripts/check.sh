@@ -3,16 +3,20 @@
 # (cmd/lint; see docs/LINTING.md), the race detector over the
 # concurrent sweep engine (including the zero-alloc shard guard, whose
 # cases cover net+comb/lei+comb), the distributed sweep service, the
-# harness that drives it, and the core selector package (compact-trace
-# round-trip and arena tests), a two-config sweep smoke run through the
-# cmd/sweep CLI, a distributed smoke run (two loopback sweepd workers,
-# jsonl output diffed against the local run — docs/SWEEPD.md), a
-# bench-regression gate comparing fresh BenchmarkPipeline/BenchmarkLEI
-# numbers against BENCH_pipeline.json, the differential
-# selector-equivalence suite run twice (catching order- or
-# state-dependent divergence between the dense production selectors and
-# their frozen map-based references, the pooled Combiner included), and
-# a short fuzz pass over the selector and wire-codec fuzz targets.
+# harness that drives it (which exercises the adaptive meta-selector end
+# to end via the Pareto-front pin), and the core selector package
+# (compact-trace round-trip, arena, and adaptive detector tests), a
+# sweep smoke run through the cmd/sweep CLI covering the adaptive
+# selector next to the statics, a distributed smoke run (two loopback
+# sweepd workers, jsonl output diffed against the local run —
+# docs/SWEEPD.md — so remote adaptive runs must be byte-identical), a
+# bench-regression gate comparing fresh
+# BenchmarkPipeline/BenchmarkLEI/BenchmarkAdaptive numbers against
+# BENCH_pipeline.json, the differential selector-equivalence suite run
+# twice (catching order- or state-dependent divergence between the
+# dense production selectors and their frozen map-based references, the
+# pooled Combiner and the adaptive meta-selector included), and a short
+# fuzz pass over the selector and wire-codec fuzz targets.
 #
 #   scripts/check.sh [fuzztime]
 #
@@ -38,11 +42,11 @@ go test -race ./internal/sweep/ ./internal/sweepnet/ ./internal/experiments/ ./i
 
 echo "== sweep smoke run (2 configs) =="
 go run ./cmd/sweep \
-    -grid 'workloads=gzip,vpr;selectors=net,lei;scale=40;cachelimit=0,400' \
+    -grid 'workloads=gzip,vpr;selectors=net,lei,adaptive;scale=40;cachelimit=0,400' \
     -shards 2 -sink none
 
 echo "== distributed smoke run: 2 loopback sweepd workers, jsonl diff =="
-smokegrid='workloads=gzip,vpr;selectors=net,lei;scale=40;cachelimit=0,400'
+smokegrid='workloads=gzip,vpr,phased;selectors=net,lei,adaptive;scale=40;cachelimit=0,400'
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"; [ -n "${w1pid:-}" ] && kill "$w1pid" 2>/dev/null; [ -n "${w2pid:-}" ] && kill "$w2pid" 2>/dev/null; wait 2>/dev/null || true' EXIT
 go build -o "$workdir/sweepd" ./cmd/sweepd
@@ -70,10 +74,10 @@ w1pid=""; w2pid=""
 echo "distributed output byte-identical to local"
 
 if [ "${BENCH_GATE:-1}" != "0" ]; then
-    echo "== bench-regression gate: BenchmarkPipeline + BenchmarkLEI vs BENCH_pipeline.json =="
+    echo "== bench-regression gate: BenchmarkPipeline + BenchmarkLEI + BenchmarkAdaptive vs BENCH_pipeline.json =="
     benchout="$workdir/bench.out"
     # No pipe: POSIX sh has no pipefail, a pipe would mask a go test failure.
-    go test -run '^$' -bench '^(BenchmarkPipeline|BenchmarkLEI)$' -benchmem -count=3 . >"$benchout"
+    go test -run '^$' -bench '^(BenchmarkPipeline|BenchmarkLEI|BenchmarkAdaptive)$' -benchmem -count=3 . >"$benchout"
     cat "$benchout"
     go run ./scripts/benchgate -baseline BENCH_pipeline.json -tol "${BENCH_TOL:-0.25}" <"$benchout"
 fi
@@ -88,6 +92,8 @@ if [ "$fuzztime" != "0" ]; then
     go test -run '^$' -fuzz '^FuzzLEISelect$' -fuzztime "$fuzztime" ./internal/difftest/
     echo "== fuzz: FuzzCombinedSelect ($fuzztime) =="
     go test -run '^$' -fuzz '^FuzzCombinedSelect$' -fuzztime "$fuzztime" ./internal/difftest/
+    echo "== fuzz: FuzzAdaptiveSelect ($fuzztime) =="
+    go test -run '^$' -fuzz '^FuzzAdaptiveSelect$' -fuzztime "$fuzztime" ./internal/difftest/
     echo "== fuzz: FuzzJobCodec ($fuzztime) =="
     go test -run '^$' -fuzz '^FuzzJobCodec$' -fuzztime "$fuzztime" ./internal/sweepnet/
 fi
