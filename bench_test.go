@@ -10,6 +10,7 @@
 package repro_test
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"net"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/sweepnet"
+	"repro/internal/tracestream"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -598,6 +600,79 @@ func BenchmarkCombine(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkReplay quantifies the record/replay decoupling
+// (internal/tracestream) in the configuration the sweep engine runs — one
+// pooled shard (scratch + Resettable selector) per job loop. "live" is the
+// baseline full simulation (VM interpretation + LEI selection), "decode" is
+// the raw stream-decode cost, and "replay" drives the same selection from
+// the pre-decoded recording — dispatch, arithmetic, and memory simulation
+// vanish, so its per-instruction cost must sit several× below live's. Live
+// and replay also report ns/event over the recording's block-event count
+// for direct comparison; the numbers land in BENCH_pipeline.json via
+// scripts/bench.sh and regress through scripts/benchgate.
+func BenchmarkReplay(b *testing.B) {
+	const name = "bzip2"
+	prog := workloads.MustGet(name).Build(benchScale)
+	var buf bytes.Buffer
+	h, err := tracestream.Record(prog, name, benchScale, vm.Config{}, &buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recorded := buf.Bytes()
+	job := sweep.Job{Workload: name, Scale: benchScale, Selector: sweep.LEI, Params: core.DefaultParams()}
+	normalized := func(b *testing.B, instrs uint64) {
+		b.Helper()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(instrs), "ns/instr")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(h.Events*uint64(b.N)), "ns/event")
+	}
+	b.Run("live", func(b *testing.B) {
+		shard := sweep.NewShard()
+		if _, err := shard.Run(prog, job); err != nil { // warm the pools
+			b.Fatal(err)
+		}
+		var instrs uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := shard.Run(prog, job)
+			if err != nil {
+				b.Fatal(err)
+			}
+			instrs += rep.TotalInstrs
+		}
+		normalized(b, instrs)
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(int64(len(recorded)))
+		for i := 0; i < b.N; i++ {
+			if _, err := tracestream.DecodeBytes(recorded); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(h.Events*uint64(b.N)), "ns/event")
+	})
+	b.Run("replay", func(b *testing.B) {
+		s, err := tracestream.DecodeBytes(recorded)
+		if err != nil {
+			b.Fatal(err)
+		}
+		corpus := &tracestream.Corpus{Stream: s, Prog: prog}
+		shard := sweep.NewShard()
+		if _, err := shard.Replay(corpus, job); err != nil { // warm the pools
+			b.Fatal(err)
+		}
+		var instrs uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := shard.Replay(corpus, job)
+			if err != nil {
+				b.Fatal(err)
+			}
+			instrs += rep.TotalInstrs
+		}
+		normalized(b, instrs)
+	})
 }
 
 // BenchmarkCompactEncoding measures the Figure 14 encoder/decoder.

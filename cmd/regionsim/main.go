@@ -11,7 +11,6 @@
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,11 +23,10 @@ import (
 	"repro/internal/asm"
 	"repro/internal/codecache"
 	"repro/internal/dynopt"
-	"repro/internal/isa"
 	"repro/internal/metrics"
 	"repro/internal/optimizer"
 	"repro/internal/program"
-	"repro/internal/trace"
+	"repro/internal/tracestream"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -46,7 +44,7 @@ func main() {
 	saveCache := flag.String("savecache", "", "write the final code-cache snapshot to this file")
 	csvOut := flag.String("csv", "", "write per-region statistics as CSV to this file")
 	loadCache := flag.String("loadcache", "", "preload a code-cache snapshot (same workload) before the run")
-	record := flag.String("record", "", "record the taken-branch stream to this file while running")
+	record := flag.String("record", "", "record the block-event stream to this file while running (internal/tracestream)")
 	replay := flag.String("replay", "", "drive the simulation from a recorded stream instead of the VM")
 	list := flag.Bool("list", false, "list workloads and selectors, then exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -97,6 +95,22 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if *record != "" && *replay != "" {
+		fail(fmt.Errorf("-record needs a live VM run; it cannot be combined with -replay"))
+	}
+	var stream *tracestream.Stream
+	if *replay != "" {
+		data, rerr := os.ReadFile(*replay)
+		if rerr != nil {
+			fail(rerr)
+		}
+		if stream, err = tracestream.DecodeBytes(data); err != nil {
+			fail(err)
+		}
+		if err := stream.Header.CheckProgram(prog); err != nil {
+			fail(err)
+		}
+	}
 	var preload []codecache.RegionSnapshot
 	if *loadCache != "" {
 		f, err := os.Open(*loadCache)
@@ -124,28 +138,29 @@ func main() {
 			CacheLimitBytes: *cacheLimit,
 			Preload:         preload,
 		}
+		var rec *tracestream.Recorder
+		if *record != "" {
+			// Tap the live run's event stream: the recording captures the
+			// exact stream that produced this report, no second run.
+			rec = tracestream.NewRecorder(prog, name, *scale)
+			cfg.Tap = rec
+		}
 		var res dynopt.Result
-		if *replay != "" {
-			data, rerr := os.ReadFile(*replay)
-			if rerr != nil {
-				fail(rerr)
-			}
-			res, err = dynopt.RunStream(prog, cfg, func(sink vm.Sink) (isa.Addr, uint64, error) {
-				tr, terr := trace.Replay(bytes.NewReader(data), prog.Len(), sink)
-				return tr.FinalPC, tr.Instrs, terr
-			})
+		if stream != nil {
+			res, err = dynopt.RunEvents(prog, cfg, stream.Events,
+				stream.Header.FinalPC, stream.Header.Instrs)
 		} else {
 			res, err = dynopt.Run(prog, cfg)
 		}
 		if err != nil {
 			fail(err)
 		}
-		if *record != "" {
+		if rec != nil {
 			f, ferr := os.Create(*record)
 			if ferr != nil {
 				fail(ferr)
 			}
-			_, ferr = trace.Record(prog, vm.Config{}, f)
+			ferr = rec.Finish(f, res.VMStats)
 			if cerr := f.Close(); ferr == nil {
 				ferr = cerr
 			}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/sweep"
 	"repro/internal/sweepnet"
+	"repro/internal/tracestream"
 	"repro/internal/workloads"
 )
 
@@ -86,7 +87,7 @@ func main() {
 // gridKeys are the recognized -grid assignments. Parameter keys are
 // list-valued: the engine runs the cross product of every parameter list.
 var gridKeys = []struct{ key, doc string }{
-	{"workloads", "workload names (default: the twelve SPEC-named workloads)"},
+	{"workloads", "workload names or trace:<path> corpora (default: the twelve SPEC-named workloads)"},
 	{"selectors", "selector names (default: net, lei, net+comb, lei+comb)"},
 	{"scale", "workload scale multiplier (single value; 0 = per-workload default)"},
 	{"cachelimit", "code-cache bounds in bytes (0 = unbounded)"},
@@ -119,6 +120,15 @@ func parseGrid(spec string) (sweep.Grid, error) {
 		case "workloads":
 			g.Workloads = vals
 			for _, w := range vals {
+				if tracestream.IsRef(w) {
+					// Syntax check only: the stream file is read (and its
+					// program digest verified) when the job first runs —
+					// with -remote, on the worker's filesystem.
+					if tracestream.RefPath(w) == "" {
+						return g, fmt.Errorf("trace workload %q has an empty path", w)
+					}
+					continue
+				}
 				if _, ok := workloads.Get(w); !ok {
 					return g, fmt.Errorf("unknown workload %q (try -list)", w)
 				}
@@ -276,6 +286,8 @@ func printList() {
 		w, _ := workloads.Get(n)
 		fmt.Printf("  %-18s %s\n", n, w.Description)
 	}
+	fmt.Printf("  %-18s %s\n", "trace:<path>",
+		"recorded branch-event stream (cmd/tracerec); replays through the selectors without the VM")
 	fmt.Println("selectors:")
 	for _, s := range []string{sweep.NET, sweep.LEI, sweep.NETComb, sweep.LEIComb, sweep.MojoNET, sweep.BOA, sweep.WRS} {
 		fmt.Printf("  %s\n", s)

@@ -1,5 +1,5 @@
 // Trace record and replay (the paper's Pin-style decoupling): interpret a
-// workload once while recording its taken-branch stream, then evaluate
+// workload once while recording its block-event stream, then evaluate
 // several region-selection algorithms by replaying the recording — no
 // re-interpretation, bit-identical results.
 //
@@ -13,8 +13,7 @@ import (
 
 	"repro"
 	"repro/internal/dynopt"
-	"repro/internal/isa"
-	"repro/internal/trace"
+	"repro/internal/tracestream"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -24,13 +23,13 @@ func main() {
 	prog := workloads.MustGet(bench).Build(0)
 
 	var buf bytes.Buffer
-	st, err := trace.Record(prog, vm.Config{}, &buf)
+	h, err := tracestream.Record(prog, bench, 0, vm.Config{}, &buf)
 	if err != nil {
 		log.Fatal(err)
 	}
 	recording := buf.Bytes()
-	fmt.Printf("recorded %q: %d instructions, %d taken branches, %d bytes (%.2f B/branch)\n\n",
-		bench, st.Instrs, st.Branches, len(recording), float64(len(recording))/float64(st.Branches))
+	fmt.Printf("recorded %q: %d instructions, %d block events (%d taken), %d bytes (%.2f B/event)\n\n",
+		bench, h.Instrs, h.Events, h.Branches, len(recording), float64(len(recording))/float64(h.Events))
 
 	fmt.Printf("%-10s %8s %8s %12s %8s\n", "selector", "hit%", "regions", "transitions", "cover90")
 	for _, selName := range []string{repro.SelectorNET, repro.SelectorLEI, repro.SelectorLEIComb} {
@@ -38,11 +37,17 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := dynopt.RunStream(prog, dynopt.Config{Selector: sel},
-			func(sink vm.Sink) (isa.Addr, uint64, error) {
-				tr, err := trace.Replay(bytes.NewReader(recording), prog.Len(), sink)
-				return tr.FinalPC, tr.Instrs, err
-			})
+		// Stream straight off the recording: the reader feeds the simulator
+		// batch by batch without materializing the events.
+		rd, err := tracestream.NewReader(bytes.NewReader(recording))
+		if err != nil {
+			log.Fatal(err)
+		}
+		hdr := rd.Header()
+		if err := hdr.CheckProgram(prog); err != nil {
+			log.Fatal(err)
+		}
+		res, err := dynopt.RunStream(prog, dynopt.Config{Selector: sel}, rd.Feed)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -45,6 +45,12 @@ type Config struct {
 	// enters, exits, transitions, selections) for debugging and timeline
 	// tooling. It must not mutate simulator state.
 	Tracer Tracer
+	// Tap, when set, receives a copy of the live run's block-event stream
+	// alongside the simulator (via vm.Tee) — the recording hook: a
+	// tracestream.Recorder tapped here captures the exact stream that
+	// produced the run's report, with no second interpretation. Only Run
+	// consults it; the stream-driven entry points have the stream already.
+	Tap vm.BlockSink
 	// Machine, when set, supplies a reusable interpreter: Run re-targets
 	// it to the program (reusing its data memory and predecode buffers)
 	// instead of allocating a fresh Machine per run. Callers running many
@@ -362,6 +368,42 @@ func analyzeRun(sim *Simulator, cfg Config) metrics.Report {
 	return report
 }
 
+// RunEvents drives the simulator from a fully decoded block-event stream —
+// the corpus replay path. It is RunStream without the feed closure, so
+// pooled callers (sweep shards replaying a shared tracestream.Corpus) stay
+// allocation-free in steady state. finalPC and instrs are the recorded
+// run's halt address and instruction count (instrs 0 skips the
+// attribution cross-check, matching RunStream).
+//
+//lint:hotpath corpus replay drives the batched event path
+func RunEvents(p *program.Program, cfg Config, events []vm.BlockEvent, finalPC isa.Addr, instrs uint64) (Result, error) {
+	if cfg.Selector == nil {
+		return Result{}, errors.New("dynopt: no selector configured")
+	}
+	sim := NewSimulator(p, cfg)
+	if len(cfg.Preload) > 0 {
+		if err := sim.cache.Restore(cfg.Preload); err != nil {
+			return Result{}, fmt.Errorf("dynopt: preloading cache: %w", err)
+		}
+	}
+	sim.BlockBatch(events)
+	sim.finish(finalPC)
+	if len(sim.errs) > 0 {
+		return Result{}, errors.Join(sim.errs...)
+	}
+	if instrs != 0 && sim.col.TotalInstrs != instrs {
+		return Result{}, fmt.Errorf("dynopt: attribution mismatch: simulator saw %d instructions, stream recorded %d",
+			sim.col.TotalInstrs, instrs)
+	}
+	report := analyzeRun(sim, cfg)
+	return Result{
+		Report:    report,
+		VMStats:   vm.Stats{Instrs: sim.col.TotalInstrs, FinalPC: finalPC},
+		Cache:     sim.cache,
+		Collector: sim.col,
+	}, nil
+}
+
 // Run interprets the program to completion under the configured selector
 // and returns the full metric report.
 func Run(p *program.Program, cfg Config) (Result, error) {
@@ -383,7 +425,7 @@ func Run(p *program.Program, cfg Config) (Result, error) {
 	} else {
 		machine = vm.New(p, cfg.VM)
 	}
-	stats, err := machine.Run(sim)
+	stats, err := machine.Run(vm.Tee(sim, cfg.Tap))
 	if err != nil {
 		return Result{}, fmt.Errorf("dynopt: interpreting program: %w", err)
 	}

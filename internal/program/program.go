@@ -156,6 +156,33 @@ func (p *Program) computeBlocks() {
 // Len returns the number of instructions in the program.
 func (p *Program) Len() int { return len(p.instrs) }
 
+// Digest returns a 64-bit FNV-1a content hash over the instruction stream
+// (opcodes, operands, immediates, targets — not labels or function names,
+// which never affect execution). Recorded trace streams embed it
+// (internal/tracestream) so a replay against a different program fails fast
+// instead of producing silently wrong attributions.
+func (p *Program) Digest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	byte8 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, in := range p.instrs {
+		byte8(uint64(in.Op) | uint64(in.Cond)<<8 | uint64(in.Dst)<<16 |
+			uint64(in.SrcA)<<24 | uint64(in.SrcB)<<32)
+		byte8(uint64(in.Imm))
+		byte8(uint64(in.Target))
+	}
+	return h
+}
+
 // Entry returns the program entry point.
 func (p *Program) Entry() isa.Addr { return p.entry }
 

@@ -25,13 +25,18 @@ import (
 	"repro/internal/dynopt"
 	"repro/internal/metrics"
 	"repro/internal/program"
+	"repro/internal/tracestream"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
 
 // Job is one cell of a sweep grid.
 type Job struct {
-	// Workload is a registered workload name (see internal/workloads).
+	// Workload is a registered workload name (see internal/workloads) or a
+	// trace-corpus reference ("trace:<path>", see internal/tracestream):
+	// the recorded stream replays through the selectors instead of the VM
+	// interpreting the program. Scale is ignored for trace references — the
+	// recording fixes it.
 	Workload string
 	// Scale is the workload scale multiplier (<=0 selects the default).
 	Scale int
@@ -171,12 +176,46 @@ func (s *Shard) Run(p *program.Program, job Job) (metrics.Report, error) {
 	return res.Report, nil
 }
 
+// Replay executes one job against a decoded trace corpus instead of a live
+// program: the recorded block events drive the selectors directly
+// (dynopt.RunEvents), so the VM never runs. The corpus is read-only during
+// the run and may be shared across shards.
+//
+//lint:hotpath steady-state shard job loop (TestShardSteadyStateAllocFree)
+func (s *Shard) Replay(c *tracestream.Corpus, job Job) (metrics.Report, error) {
+	sel, err := s.selector(job.Selector, job.Params)
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	h := c.Stream.Header
+	res, err := dynopt.RunEvents(c.Prog, dynopt.Config{
+		Selector:        sel,
+		CacheLimitBytes: job.CacheLimitBytes,
+		Scratch:         &s.scratch,
+	}, c.Stream.Events, h.FinalPC, h.Instrs)
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	res.Report.Workload = job.Workload
+	return res.Report, nil
+}
+
+// runnable is a resolved job input: a built program for registered
+// workloads, plus the decoded corpus when the workload is a trace
+// reference (prog is then the corpus's verified program).
+type runnable struct {
+	prog   *program.Program
+	corpus *tracestream.Corpus
+}
+
 // progCache builds each distinct (workload, scale) program once and shares
 // it across shards: programs are immutable after Build (every index is
-// precomputed), so concurrent runs only read them.
+// precomputed), so concurrent runs only read them. Trace-corpus references
+// resolve through tracestream.DefaultCache, which shares the decoded
+// stream the same way (and across Runners, keyed by file content).
 type progCache struct {
 	mu sync.Mutex
-	m  map[progKey]*program.Program
+	m  map[progKey]runnable
 }
 
 type progKey struct {
@@ -184,23 +223,37 @@ type progKey struct {
 	scale int
 }
 
-func (pc *progCache) get(name string, scale int) (*program.Program, error) {
+func (pc *progCache) get(name string, scale int) (runnable, error) {
+	if tracestream.IsRef(name) {
+		// The recording fixes the scale; normalize the key so every scale
+		// maps to the one decoded corpus.
+		scale = 0
+	}
 	key := progKey{name, scale}
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	if p, ok := pc.m[key]; ok {
-		return p, nil
+	if r, ok := pc.m[key]; ok {
+		return r, nil
 	}
-	w, ok := workloads.Get(name)
-	if !ok {
-		return nil, fmt.Errorf("sweep: unknown workload %q", name)
+	var r runnable
+	if tracestream.IsRef(name) {
+		c, err := tracestream.DefaultCache.LoadRef(name)
+		if err != nil {
+			return runnable{}, fmt.Errorf("sweep: %w", err)
+		}
+		r = runnable{prog: c.Prog, corpus: c}
+	} else {
+		w, ok := workloads.Get(name)
+		if !ok {
+			return runnable{}, fmt.Errorf("sweep: unknown workload %q", name)
+		}
+		r = runnable{prog: w.Build(scale)}
 	}
-	p := w.Build(scale)
 	if pc.m == nil {
-		pc.m = make(map[progKey]*program.Program)
+		pc.m = make(map[progKey]runnable)
 	}
-	pc.m[key] = p
-	return p, nil
+	pc.m[key] = r
+	return r, nil
 }
 
 // Runner owns the reusable execution state of the sweep engine — a pool of
@@ -469,12 +522,17 @@ func (e *engine) stealLargest(id int) (lo, hi int, ok bool) {
 //lint:hotpath per-job engine loop
 func (e *engine) process(i int, shard *Shard) {
 	job := e.src.at(i)
-	p, err := e.runner.progs.get(job.Workload, job.Scale)
+	run, err := e.runner.progs.get(job.Workload, job.Scale)
 	if err != nil {
 		e.fail(err)
 		return
 	}
-	rep, err := shard.Run(p, job)
+	var rep metrics.Report
+	if run.corpus != nil {
+		rep, err = shard.Replay(run.corpus, job)
+	} else {
+		rep, err = shard.Run(run.prog, job)
+	}
 	if err != nil {
 		e.fail(fmt.Errorf("sweep: %s under %s: %w", job.Workload, job.Selector, err))
 		return

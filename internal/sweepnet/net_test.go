@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"os"
 	"reflect"
 	"runtime"
 	"sync"
@@ -14,6 +15,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sweep"
+	"repro/internal/tracestream"
+	"repro/internal/vm"
+	"repro/internal/workloads"
 )
 
 // testGrid is small enough for fast tests but spans several workloads,
@@ -312,5 +316,48 @@ func TestFrameWriterRejectsOversized(t *testing.T) {
 	w.b = append(w.b, make([]byte, maxFrame)...)
 	if err := fw.end(); !errors.Is(err, errFrameTooLarge) {
 		t.Fatalf("end accepted a %d-byte payload: %v", len(w.b), err)
+	}
+}
+
+// TestRemoteTraceWorkloadMatchesLocal extends the determinism property to
+// the trace-corpus workload class: a grid mixing trace:<path> corpora with
+// live workloads, distributed over two wire workers, delivers byte-for-byte
+// the results of a local run. The workers resolve the trace path on their
+// own filesystem (shared with the coordinator here, as docs/SWEEPD.md
+// requires for trace workloads).
+func TestRemoteTraceWorkloadMatchesLocal(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/gzip.trace"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := workloads.MustGet("gzip").Build(30)
+	_, err = tracestream.Record(prog, "gzip", 30, vm.Config{}, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sweep.Grid{
+		Workloads: []string{"trace:" + path, "vpr"},
+		Scale:     30,
+		Selectors: []string{"net", "lei", "adaptive"},
+	}
+	var local sweep.CollectSink
+	if err := sweep.RunGrid(context.Background(), g, sweep.Options{Shards: 2}, &local); err != nil {
+		t.Fatal(err)
+	}
+	addr1, stop1 := startWorker(t, ServerOptions{Shards: 2, Heartbeat: 50 * time.Millisecond})
+	addr2, stop2 := startWorker(t, ServerOptions{Shards: 2, Heartbeat: 50 * time.Millisecond})
+	defer stop1()
+	defer stop2()
+	var remote sweep.CollectSink
+	if err := RunGrid(context.Background(), []string{addr1, addr2}, g, Options{Chunk: 1}, &remote); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(remote.Results, local.Results) {
+		t.Fatal("remote trace-workload results differ from local")
 	}
 }

@@ -1,0 +1,135 @@
+package tracestream
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// CacheStats counts cache outcomes, for observability and the skip-decode
+// test.
+type CacheStats struct {
+	// Hits is the number of loads served from an already-decoded corpus.
+	Hits uint64
+	// Misses is the number of loads that had to decode the stream.
+	Misses uint64
+	// Evictions is the number of corpora dropped to stay within the bound.
+	Evictions uint64
+}
+
+// Cache is a bounded, concurrency-safe artifact cache mapping stream-file
+// content digests to decoded corpora (SNIPPETS.md Snippet 3's content-keyed
+// idiom): repeated sweeps over the same corpus pay the file read and hash,
+// never the decode or program rebuild. Keying by content rather than path
+// means a rewritten file is never served stale and the same corpus at two
+// paths decodes once.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	gen     uint64
+	entries map[uint64]*cacheEntry
+	stats   CacheStats
+}
+
+type cacheEntry struct {
+	corpus *Corpus
+	used   uint64 // generation of last access, for eviction
+}
+
+// DefaultCacheEntries bounds DefaultCache. A decoded corpus holds every
+// event in memory, so the bound is deliberately small; sweeps rarely touch
+// more than a handful of corpora at once.
+const DefaultCacheEntries = 16
+
+// DefaultCache is the process-wide corpus cache shared by the sweep engine
+// and the CLIs.
+var DefaultCache = NewCache(DefaultCacheEntries)
+
+// NewCache returns a cache bounded to maxEntries decoded corpora
+// (least-recently-used beyond that).
+func NewCache(maxEntries int) *Cache {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &Cache{max: maxEntries, entries: make(map[uint64]*cacheEntry)}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Load returns the decoded corpus for the stream file at path, decoding it
+// on first sight of its content. Decoding happens under the cache lock, so
+// concurrent shards asking for the same corpus share one decode.
+func (c *Cache) Load(path string) (*Corpus, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tracestream: %w", err)
+	}
+	digest := fnv64(data)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	if e, ok := c.entries[digest]; ok {
+		e.used = c.gen
+		c.stats.Hits++
+		return e.corpus, nil
+	}
+	c.stats.Misses++
+	corpus, err := buildCorpus(data, digest)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	for len(c.entries) >= c.max {
+		c.evictOldest()
+	}
+	c.entries[digest] = &cacheEntry{corpus: corpus, used: c.gen}
+	return corpus, nil
+}
+
+// LoadRef resolves a trace-corpus workload reference ("trace:<path>")
+// through the cache.
+func (c *Cache) LoadRef(ref string) (*Corpus, error) {
+	if !IsRef(ref) {
+		return nil, fmt.Errorf("tracestream: %q is not a trace reference", ref)
+	}
+	return c.Load(RefPath(ref))
+}
+
+// evictOldest drops the least-recently-used entry. Called with mu held.
+func (c *Cache) evictOldest() {
+	var victim uint64
+	oldest := ^uint64(0)
+	for k, e := range c.entries {
+		if e.used < oldest {
+			oldest = e.used
+			victim = k
+		}
+	}
+	delete(c.entries, victim)
+	c.stats.Evictions++
+}
+
+// Len returns the number of decoded corpora currently held.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// fnv64 is FNV-1a over the raw stream bytes — the cache key.
+func fnv64(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

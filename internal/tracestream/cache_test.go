@@ -1,0 +1,164 @@
+package tracestream_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/tracestream"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// writeTrace records a workload stream to a file and returns the path.
+func writeTrace(t *testing.T, dir, name string, scale int) string {
+	t.Helper()
+	path := fmt.Sprintf("%s/%s-%d.trace", dir, name, scale)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := workloads.MustGet(name).Build(scale)
+	_, err = tracestream.Record(prog, name, scale, vm.Config{}, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCacheSkipsSecondDecode is the counter-based acceptance check: the
+// first load of a corpus decodes (a miss), every subsequent load of the
+// same content — same path or a byte-identical copy at another path — is a
+// hit that returns the already-decoded corpus.
+func TestCacheSkipsSecondDecode(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTrace(t, dir, "gzip", 30)
+	c := tracestream.NewCache(4)
+	first, err := c.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("second load returned a different corpus object: decode was not skipped")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copyPath := dir + "/copy.trace"
+	if err := os.WriteFile(copyPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	third, err := c.Load(copyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third != first {
+		t.Error("byte-identical copy at another path missed the cache: keying is not content-based")
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Hits != 2 {
+		t.Errorf("stats = %+v, want 1 miss and 2 hits", st)
+	}
+}
+
+// TestCacheBound pins the eviction behaviour: the cache never holds more
+// than its bound, and the least-recently-used corpus is the one evicted.
+func TestCacheBound(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{
+		writeTrace(t, dir, "gzip", 10),
+		writeTrace(t, dir, "gzip", 12),
+		writeTrace(t, dir, "gzip", 14),
+	}
+	c := tracestream.NewCache(2)
+	for _, p := range paths[:2] {
+		if _, err := c.Load(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch the first so the second becomes least recently used.
+	if _, err := c.Load(paths[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load(paths[2]); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Len(); n != 2 {
+		t.Fatalf("cache holds %d corpora, bound is 2", n)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 eviction", st)
+	}
+	// The touched first corpus must have survived; the untouched second was
+	// the victim.
+	if _, err := c.Load(paths[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats(); got.Hits != st.Hits+1 {
+		t.Errorf("reloading the recently-used corpus missed: stats %+v -> %+v", st, got)
+	}
+	if _, err := c.Load(paths[1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats(); got.Misses != st.Misses+1 {
+		t.Errorf("reloading the evicted corpus hit: stats %+v -> %+v", st, got)
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines; the race
+// detector checks safety, the counters check that the corpus decoded at
+// most a handful of times (once per content, modulo evictions — none here).
+func TestCacheConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	pathA := writeTrace(t, dir, "gzip", 20)
+	pathB := writeTrace(t, dir, "fig3-nested-loops", 20)
+	c := tracestream.NewCache(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		path := pathA
+		if i%2 == 1 {
+			path = pathB
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				if _, err := c.Load(path); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Misses != 2 {
+		t.Errorf("stats = %+v, want exactly 2 misses (one per distinct content)", st)
+	}
+}
+
+// TestLoadRefErrors covers the reference-form error paths: non-reference
+// names, missing files, and streams whose recorded workload is unknown.
+func TestLoadRefErrors(t *testing.T) {
+	c := tracestream.NewCache(2)
+	if _, err := c.LoadRef("gzip"); err == nil {
+		t.Error("plain workload name accepted as a trace reference")
+	}
+	if _, err := c.LoadRef("trace:" + t.TempDir() + "/missing.trace"); err == nil {
+		t.Error("missing file loaded without error")
+	}
+	if !tracestream.IsRef("trace:x") || tracestream.IsRef("gzip") {
+		t.Error("IsRef misclassifies")
+	}
+	if got := tracestream.RefPath("trace:/tmp/a.trace"); got != "/tmp/a.trace" {
+		t.Errorf("RefPath = %q", got)
+	}
+}

@@ -1,0 +1,54 @@
+package tracestream
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/program"
+	"repro/internal/workloads"
+)
+
+// RefPrefix marks a workload name as a trace-corpus reference: everything
+// after the prefix is a stream file path. cmd/sweep grids and sweepd jobs
+// carry these alongside registered workload names.
+const RefPrefix = "trace:"
+
+// IsRef reports whether a workload name refers to a recorded trace corpus.
+func IsRef(name string) bool { return strings.HasPrefix(name, RefPrefix) }
+
+// RefPath extracts the stream file path from a trace-corpus reference.
+func RefPath(name string) string { return strings.TrimPrefix(name, RefPrefix) }
+
+// Corpus is a replay-ready recording: the decoded stream plus the program
+// it was recorded from, rebuilt from the workload registry and verified
+// against the stream's embedded digest. A Corpus substitutes for a
+// (program, scale) pair anywhere the selectors run — the events already
+// encode everything they consume.
+type Corpus struct {
+	Stream *Stream
+	Prog   *program.Program
+	// FileDigest is the content hash of the stream file the corpus was
+	// decoded from — the cache key.
+	FileDigest uint64
+}
+
+// Header returns the underlying stream header.
+func (c *Corpus) Header() Header { return c.Stream.Header }
+
+// buildCorpus decodes raw stream bytes and rebuilds + verifies the program
+// named in the header.
+func buildCorpus(data []byte, fileDigest uint64) (*Corpus, error) {
+	s, err := DecodeBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	w, ok := workloads.Get(s.Header.Workload)
+	if !ok {
+		return nil, fmt.Errorf("tracestream: stream records unknown workload %q", s.Header.Workload)
+	}
+	p := w.Build(s.Header.Scale)
+	if err := s.Header.CheckProgram(p); err != nil {
+		return nil, fmt.Errorf("%w (workload %s scale %d)", err, s.Header.Workload, s.Header.Scale)
+	}
+	return &Corpus{Stream: s, Prog: p, FileDigest: fileDigest}, nil
+}

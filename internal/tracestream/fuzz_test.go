@@ -1,0 +1,58 @@
+package tracestream
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// FuzzStreamDecode pins the decoder's safety on arbitrary bytes: it must
+// never panic, never allocate unboundedly from a corrupt count, and — when
+// a decode does succeed — re-encoding the decoded stream must decode back
+// to the same events (arbitrary inputs may use non-canonical varints, so
+// byte-level identity holds only for canonical encodings; event-level
+// round-tripping must always hold).
+func FuzzStreamDecode(f *testing.F) {
+	for _, seed := range []struct {
+		name  string
+		scale int
+	}{
+		{"fig2-loop-call", 10},
+		{"fig3-nested-loops", 15},
+		{"gzip", 15},
+	} {
+		p := workloads.MustGet(seed.name).Build(seed.scale)
+		var buf bytes.Buffer
+		if _, err := Record(p, seed.name, seed.scale, vm.Config{}, &buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()/2])
+	}
+	f.Add([]byte("rbs1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeBytes(data)
+		if err != nil {
+			return
+		}
+		re := Encode(s)
+		s2, err := DecodeBytes(re)
+		if err != nil {
+			t.Fatalf("re-encoding of a valid decode failed to decode: %v", err)
+		}
+		if s2.Header != s.Header {
+			t.Fatalf("header changed across re-encode: %+v vs %+v", s2.Header, s.Header)
+		}
+		if len(s2.Events) != len(s.Events) {
+			t.Fatalf("event count changed across re-encode: %d vs %d", len(s2.Events), len(s.Events))
+		}
+		for i := range s.Events {
+			if s.Events[i] != s2.Events[i] {
+				t.Fatalf("event %d changed across re-encode: %+v vs %+v", i, s.Events[i], s2.Events[i])
+			}
+		}
+	})
+}

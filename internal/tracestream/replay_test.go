@@ -1,0 +1,197 @@
+package tracestream_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dynopt"
+	"repro/internal/sweep"
+	"repro/internal/tracestream"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// diffSelectors is the full evaluation set the differential covers: the
+// paper's four plus the adaptive meta-selector.
+var diffSelectors = []string{sweep.NET, sweep.LEI, sweep.NETComb, sweep.LEIComb, sweep.Adaptive}
+
+// reportJSON renders a report for comparison. JSON bytes, not
+// reflect.DeepEqual: the serialized form is what sinks emit, and it
+// distinguishes float artifacts (-0.0 vs 0.0) that == would hide.
+func reportJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestReplayMatchesLive is the acceptance differential: for every
+// registered workload under every selector in the evaluation set, replaying
+// a recorded stream — both streamed through a Reader into RunStream and
+// fully decoded into RunEvents — produces a report byte-identical to the
+// live VM run that made the recording.
+func TestReplayMatchesLive(t *testing.T) {
+	const scale = 25
+	for _, name := range workloads.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			prog := workloads.MustGet(name).Build(scale)
+			// Record once per workload, tapped off the first live run.
+			var recorded []byte
+			for i, selName := range diffSelectors {
+				sel, err := sweep.NewSelector(selName, core.DefaultParams())
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := dynopt.Config{Selector: sel}
+				var rec *tracestream.Recorder
+				if i == 0 {
+					rec = tracestream.NewRecorder(prog, name, scale)
+					cfg.Tap = rec
+				}
+				live, err := dynopt.Run(prog, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rec != nil {
+					var buf bytes.Buffer
+					if err := rec.Finish(&buf, live.VMStats); err != nil {
+						t.Fatal(err)
+					}
+					recorded = buf.Bytes()
+				}
+				liveJSON := reportJSON(t, live.Report)
+
+				sel2, err := sweep.NewSelector(selName, core.DefaultParams())
+				if err != nil {
+					t.Fatal(err)
+				}
+				rd, err := tracestream.NewReader(bytes.NewReader(recorded))
+				if err != nil {
+					t.Fatal(err)
+				}
+				hdr := rd.Header()
+				if err := hdr.CheckProgram(prog); err != nil {
+					t.Fatal(err)
+				}
+				streamed, err := dynopt.RunStream(prog, dynopt.Config{Selector: sel2}, rd.Feed)
+				if err != nil {
+					t.Fatalf("%s: streamed replay: %v", selName, err)
+				}
+				if got := reportJSON(t, streamed.Report); !bytes.Equal(got, liveJSON) {
+					t.Errorf("%s: streamed replay report differs from live run:\nlive:   %s\nreplay: %s",
+						selName, liveJSON, got)
+				}
+
+				sel3, err := sweep.NewSelector(selName, core.DefaultParams())
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := tracestream.DecodeBytes(recorded)
+				if err != nil {
+					t.Fatal(err)
+				}
+				events, err := dynopt.RunEvents(prog, dynopt.Config{Selector: sel3},
+					s.Events, s.Header.FinalPC, s.Header.Instrs)
+				if err != nil {
+					t.Fatalf("%s: decoded replay: %v", selName, err)
+				}
+				if got := reportJSON(t, events.Report); !bytes.Equal(got, liveJSON) {
+					t.Errorf("%s: decoded replay report differs from live run:\nlive:   %s\nreplay: %s",
+						selName, liveJSON, got)
+				}
+			}
+		})
+	}
+}
+
+// TestSweepReplayMatchesLiveSweep pins the engine-level equivalence the
+// trace workload class rests on: a sweep over trace:<path> corpora delivers
+// reports identical (up to the workload label, which carries the reference)
+// to the same grid over the live workloads — and the shard replay loop is
+// allocation-free in steady state like the live one.
+func TestSweepReplayMatchesLiveSweep(t *testing.T) {
+	const scale = 25
+	dir := t.TempDir()
+	live := sweep.Grid{Workloads: []string{"gzip", "fig3-nested-loops"}, Scale: scale, Selectors: diffSelectors}
+	traced := sweep.Grid{Scale: scale, Selectors: diffSelectors}
+	for _, name := range live.Workloads {
+		path := dir + "/" + name + ".trace"
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := workloads.MustGet(name).Build(scale)
+		_, err = tracestream.Record(prog, name, scale, vm.Config{}, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		traced.Workloads = append(traced.Workloads, "trace:"+path)
+	}
+	run := func(g sweep.Grid) []sweep.Result {
+		var out []sweep.Result
+		if err := sweep.RunGrid(context.Background(), g, sweep.Options{Shards: 2},
+			sweep.FuncSink(func(r sweep.Result) { out = append(out, r) })); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	liveRes, traceRes := run(live), run(traced)
+	if len(liveRes) != len(traceRes) {
+		t.Fatalf("live sweep delivered %d results, trace sweep %d", len(liveRes), len(traceRes))
+	}
+	for i := range liveRes {
+		lr, tr := liveRes[i].Report, traceRes[i].Report
+		tr.Workload = lr.Workload // the only allowed difference
+		if got, want := reportJSON(t, tr), reportJSON(t, lr); !bytes.Equal(got, want) {
+			t.Errorf("cell %d (%s/%s): trace sweep differs from live:\nlive:  %s\ntrace: %s",
+				i, liveRes[i].Job.Workload, liveRes[i].Job.Selector, want, got)
+		}
+	}
+}
+
+// TestShardReplayAllocFree extends the sweep engine's zero-alloc pin to the
+// corpus replay path: after warm-up, Shard.Replay performs no heap
+// allocations per job.
+func TestShardReplayAllocFree(t *testing.T) {
+	const name, scale = "gzip", 40
+	prog := workloads.MustGet(name).Build(scale)
+	var buf bytes.Buffer
+	if _, err := tracestream.Record(prog, name, scale, vm.Config{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := tracestream.DecodeBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := &tracestream.Corpus{Stream: s, Prog: prog}
+	shard := sweep.NewShard()
+	for _, selName := range diffSelectors[:4] { // adaptive pools separately
+		selName := selName
+		t.Run(selName, func(t *testing.T) {
+			job := sweep.Job{Workload: name, Selector: selName, Params: core.DefaultParams()}
+			for i := 0; i < 2; i++ {
+				if _, err := shard.Replay(corpus, job); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(5, func() {
+				if _, err := shard.Replay(corpus, job); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state shard replay allocated %.1f times, want 0", allocs)
+			}
+		})
+	}
+}

@@ -1,0 +1,38 @@
+package vm
+
+import "repro/internal/isa"
+
+// teeSink fans the dynamic stream out to two block sinks.
+type teeSink struct {
+	a, b BlockSink
+}
+
+// Tee returns a BlockSink that delivers every event to both a and b — the
+// hook that lets a recorder (internal/tracestream) capture the stream of
+// the same run that drives the simulator, with no second interpretation.
+// When either side is nil the other is returned directly, so the fan-out
+// cost is only paid when both are present. Batch slices are reused by the
+// machine, so neither side may retain them (the BlockSink contract).
+func Tee(a, b BlockSink) BlockSink {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &teeSink{a: a, b: b}
+}
+
+// TakenBranch implements Sink.
+func (t *teeSink) TakenBranch(src, tgt isa.Addr, kind BranchKind) {
+	t.a.TakenBranch(src, tgt, kind)
+	t.b.TakenBranch(src, tgt, kind)
+}
+
+// BlockBatch implements BlockSink.
+//
+//lint:hotpath fan-out on the batched event path
+func (t *teeSink) BlockBatch(events []BlockEvent) {
+	t.a.BlockBatch(events)
+	t.b.BlockBatch(events)
+}

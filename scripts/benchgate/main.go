@@ -101,7 +101,7 @@ func main() {
 		e := fresh[name]
 		b, ok := base.Benchmarks[name]
 		if !ok {
-			fmt.Printf("benchgate: %-40s no baseline recorded, skipping\n", name)
+			fmt.Printf("benchgate: %-40s no baseline recorded, skipping (run scripts/bench.sh to record one)\n", name)
 			continue
 		}
 		// Gate on ns/instr only when both sides record it, so flipping the

@@ -7,16 +7,19 @@
 # to end via the Pareto-front pin), and the core selector package
 # (compact-trace round-trip, arena, and adaptive detector tests), a
 # sweep smoke run through the cmd/sweep CLI covering the adaptive
-# selector next to the statics, a distributed smoke run (two loopback
-# sweepd workers, jsonl output diffed against the local run —
-# docs/SWEEPD.md — so remote adaptive runs must be byte-identical), a
-# bench-regression gate comparing fresh
-# BenchmarkPipeline/BenchmarkLEI/BenchmarkAdaptive numbers against
+# selector next to the statics and a trace:<path> corpus recorded by
+# cmd/tracerec, a distributed smoke run (two loopback sweepd workers,
+# jsonl output diffed against the local run — docs/SWEEPD.md — so
+# remote adaptive and trace-replay runs must be byte-identical; worker
+# logs are dumped when the diff fails), a bench-regression gate
+# comparing fresh BenchmarkPipeline/BenchmarkLEI/BenchmarkAdaptive/
+# BenchmarkCombine/BenchmarkSweep/BenchmarkReplay numbers against
 # BENCH_pipeline.json, the differential selector-equivalence suite run
 # twice (catching order- or state-dependent divergence between the
 # dense production selectors and their frozen map-based references, the
 # pooled Combiner and the adaptive meta-selector included), and a short
-# fuzz pass over the selector and wire-codec fuzz targets.
+# fuzz pass over the selector, wire-codec, and trace-stream fuzz
+# targets.
 #
 #   scripts/check.sh [fuzztime]
 #
@@ -40,15 +43,21 @@ go run ./cmd/lint ./...
 echo "== race detector: sweep engine + sweepnet + experiment harness + core round-trip =="
 go test -race ./internal/sweep/ ./internal/sweepnet/ ./internal/experiments/ ./internal/core/
 
-echo "== sweep smoke run (2 configs) =="
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"; [ -n "${w1pid:-}" ] && kill "$w1pid" 2>/dev/null; [ -n "${w2pid:-}" ] && kill "$w2pid" 2>/dev/null; wait 2>/dev/null || true' EXIT
+
+echo "== trace corpus smoke: record with cmd/tracerec, sweep trace:<path> =="
+go run ./cmd/tracerec -workload gzip -scale 40 -out "$workdir/gzip.trace"
+go run ./cmd/tracerec -info "$workdir/gzip.trace"
 go run ./cmd/sweep \
-    -grid 'workloads=gzip,vpr;selectors=net,lei,adaptive;scale=40;cachelimit=0,400' \
+    -grid "workloads=gzip,vpr,trace:$workdir/gzip.trace;selectors=net,lei,adaptive;scale=40;cachelimit=0,400" \
     -shards 2 -sink none
 
 echo "== distributed smoke run: 2 loopback sweepd workers, jsonl diff =="
-smokegrid='workloads=gzip,vpr,phased;selectors=net,lei,adaptive;scale=40;cachelimit=0,400'
-workdir="$(mktemp -d)"
-trap 'rm -rf "$workdir"; [ -n "${w1pid:-}" ] && kill "$w1pid" 2>/dev/null; [ -n "${w2pid:-}" ] && kill "$w2pid" 2>/dev/null; wait 2>/dev/null || true' EXIT
+# The trace:<path> cell rides along: loopback workers share this
+# filesystem, so the remote replay must match the local one byte for
+# byte like every other cell.
+smokegrid="workloads=gzip,vpr,phased,trace:$workdir/gzip.trace;selectors=net,lei,adaptive;scale=40;cachelimit=0,400"
 go build -o "$workdir/sweepd" ./cmd/sweepd
 go build -o "$workdir/sweep" ./cmd/sweep
 "$workdir/sweepd" -listen 127.0.0.1:0 >"$workdir/w1.log" & w1pid=$!
@@ -67,17 +76,25 @@ addr2="$(sed -n 's/^sweepd: listening on //p' "$workdir/w2.log")"
 "$workdir/sweep" -grid "$smokegrid" -sink jsonl >"$workdir/local.jsonl"
 "$workdir/sweep" -grid "$smokegrid" -sink jsonl -remote "$addr1,$addr2" >"$workdir/remote.jsonl"
 diff "$workdir/local.jsonl" "$workdir/remote.jsonl" || {
-    echo "check.sh: distributed run output differs from local run"; exit 1; }
+    echo "check.sh: distributed run output differs from local run"
+    # Dump what the workers saw — the jsonl diff alone rarely explains a
+    # remote divergence (job decode errors and panics land in these logs).
+    for log in "$workdir/w1.log" "$workdir/w2.log"; do
+        echo "---- $log ----"
+        cat "$log"
+    done
+    exit 1
+}
 kill "$w1pid" "$w2pid"
 wait "$w1pid" "$w2pid" 2>/dev/null || true
 w1pid=""; w2pid=""
 echo "distributed output byte-identical to local"
 
 if [ "${BENCH_GATE:-1}" != "0" ]; then
-    echo "== bench-regression gate: BenchmarkPipeline + BenchmarkLEI + BenchmarkAdaptive vs BENCH_pipeline.json =="
+    echo "== bench-regression gate: Pipeline + LEI + Adaptive + Combine + Sweep + Replay vs BENCH_pipeline.json =="
     benchout="$workdir/bench.out"
     # No pipe: POSIX sh has no pipefail, a pipe would mask a go test failure.
-    go test -run '^$' -bench '^(BenchmarkPipeline|BenchmarkLEI|BenchmarkAdaptive)$' -benchmem -count=3 . >"$benchout"
+    go test -run '^$' -bench '^(BenchmarkPipeline|BenchmarkLEI|BenchmarkAdaptive|BenchmarkCombine|BenchmarkSweep|BenchmarkReplay)$' -benchmem -count=3 . >"$benchout"
     cat "$benchout"
     go run ./scripts/benchgate -baseline BENCH_pipeline.json -tol "${BENCH_TOL:-0.25}" <"$benchout"
 fi
@@ -96,6 +113,8 @@ if [ "$fuzztime" != "0" ]; then
     go test -run '^$' -fuzz '^FuzzAdaptiveSelect$' -fuzztime "$fuzztime" ./internal/difftest/
     echo "== fuzz: FuzzJobCodec ($fuzztime) =="
     go test -run '^$' -fuzz '^FuzzJobCodec$' -fuzztime "$fuzztime" ./internal/sweepnet/
+    echo "== fuzz: FuzzStreamDecode ($fuzztime) =="
+    go test -run '^$' -fuzz '^FuzzStreamDecode$' -fuzztime "$fuzztime" ./internal/tracestream/
 fi
 
 echo "check.sh: all checks passed"
