@@ -1,14 +1,18 @@
 // Command lint runs the repo's invariant analyzers (hotpathalloc,
-// resetclean, densemap — see docs/LINTING.md) over the module and exits
-// non-zero on any diagnostic. scripts/check.sh runs it after tier-1.
+// resetclean, densemap, crosshot, epochguard, scratchclean — see
+// docs/LINTING.md) over the module and exits non-zero on any diagnostic.
+// scripts/check.sh runs it after tier-1.
 //
 // Usage:
 //
-//	go run ./cmd/lint [-json] [patterns...]
+//	go run ./cmd/lint [-json|-sarif|-gha] [patterns...]
 //
 // Patterns default to ./... and accept ./dir and ./dir/... forms relative
-// to the module root. With -json, diagnostics are emitted as a JSON array
-// of {file, line, col, check, message} objects for tooling.
+// to the module root. Output selects one format: plain file:line:col lines
+// (default), -json (array of {file, line, col, check, message}), -sarif
+// (a SARIF 2.1.0 log for code-scanning uploads), or -gha (GitHub Actions
+// ::error workflow commands, which CI logs render as pull-request
+// annotations).
 package main
 
 import (
@@ -23,7 +27,13 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	sarifOut := flag.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log")
+	ghaOut := flag.Bool("gha", false, "emit diagnostics as GitHub Actions ::error annotations")
 	flag.Parse()
+	if *jsonOut && *sarifOut || *jsonOut && *ghaOut || *sarifOut && *ghaOut {
+		fmt.Fprintln(os.Stderr, "lint: -json, -sarif, and -gha are mutually exclusive")
+		os.Exit(2)
+	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -41,8 +51,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	diags := lint.Run(pkgs, Analyzers(module))
-	if *jsonOut {
+	analyzers := Analyzers(module)
+	diags := lint.Run(pkgs, analyzers)
+	switch {
+	case *sarifOut:
+		data, err := lint.SARIF(root, analyzers, diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(string(data))
+	case *ghaOut:
+		for _, d := range diags {
+			fmt.Println(lint.GHALine(root, d))
+		}
+	case *jsonOut:
 		type jsonDiag struct {
 			File    string `json:"file"`
 			Line    int    `json:"line"`
@@ -64,13 +87,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Println(d.String(root))
 		}
 	}
 	if len(diags) > 0 {
-		if !*jsonOut {
+		if !*jsonOut && !*sarifOut && !*ghaOut {
 			fmt.Fprintf(os.Stderr, "lint: %d diagnostic(s)\n", len(diags))
 		}
 		os.Exit(1)
@@ -78,14 +101,35 @@ func main() {
 }
 
 // Analyzers returns the repo's analyzer set, configured for the module's
-// hot packages. The one allowlisted file holds the §5 related-work
-// baselines (BOA/WRS), comparison selectors outside the pooled sweep loop.
-// (RegionCFG was allowlisted until its start index went dense; the
-// combination path is now fully //lint:hotpath-enforced.)
+// hot packages.
+//
+// densemap: the one allowlisted file holds the §5 related-work baselines
+// (BOA/WRS), comparison selectors outside the pooled sweep loop. (RegionCFG
+// was allowlisted until its start index went dense; the combination path is
+// now fully //lint:hotpath-enforced.)
+//
+// crosshot: internal/difftest holds the frozen reference selectors the
+// differential harness compares against — they satisfy core.Selector in the
+// type system, so conservative dispatch resolution would otherwise route
+// hot interface calls into them, but only tests ever instantiate them. The
+// related.go baselines are cold for the same reason.
 func Analyzers(module string) []*lint.Analyzer {
 	return []*lint.Analyzer{
 		lint.HotPathAlloc(),
 		lint.ResetClean(),
+		lint.CrossHot(lint.CrossHotConfig{
+			ColdPackages: []string{
+				module + "/internal/difftest",
+				// Examples implement core.Selector to demonstrate the API;
+				// conservative dispatch resolution would otherwise route hot
+				// interface calls into them, but nothing outside their own
+				// main functions ever runs them.
+				module + "/examples/...",
+			},
+			ColdFiles: []string{"related.go"},
+		}),
+		lint.EpochGuard(),
+		lint.ScratchClean(),
 		lint.DenseMap(lint.DenseMapConfig{
 			Packages: []string{
 				module + "/internal/vm",

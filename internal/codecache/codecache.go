@@ -275,6 +275,7 @@ func (c *Cache) Reset(p *program.Program, limitBytes int) {
 	if c.epoch == 0 {
 		// Epoch wraparound: stale cells from 2^32 resets ago could read as
 		// current. Clear once and restart at 1 (cell epoch 0 means never set).
+		//lint:ignore epochguard wraparound is the one sound full clear; every 2^32 resets, not a steady-state path
 		clear(c.entries)
 		c.epoch = 1
 	}

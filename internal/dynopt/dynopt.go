@@ -70,6 +70,11 @@ type Config struct {
 // and the report's intermediate tables live in the Scratch and are
 // invalidated by the next run that uses it; the Result's Report is a plain
 // value, detached from all scratch state, and stays valid indefinitely.
+//
+// Every component field must be re-armed on the reuse path — scratchclean
+// machine-checks that (docs/LINTING.md).
+//
+//lint:pooled components re-armed in NewSimulator/Run/analyzeRun
 type Scratch struct {
 	machine  vm.Machine
 	col      metrics.Collector

@@ -52,6 +52,33 @@ func baseOfChain(e ast.Expr) ast.Expr {
 	}
 }
 
+// calleeIdent returns the identifier naming a call's callee (for plain and
+// selector calls), or nil.
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return id
+		}
+	}
+	return nil
+}
+
+// enclosingFuncDecl finds the function declaration an AST node sits in.
+func enclosingFuncDecl(info *types.Info, stack []ast.Node) *types.Func {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
 // isNilIdent reports whether e is the predeclared nil.
 func isNilIdent(e ast.Expr) bool {
 	id, ok := e.(*ast.Ident)

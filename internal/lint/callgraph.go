@@ -1,0 +1,353 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Node is one function or method declared in the module, with its call
+// edges in both directions.
+type Node struct {
+	// Fn is the type-checker's object for the function.
+	Fn *types.Func
+	// Decl is the declaration; Decl.Body is non-nil for every node.
+	Decl *ast.FuncDecl
+	// Pkg is the package the function is declared in.
+	Pkg *Package
+	// Out are the calls this function makes (static, dynamic, and opaque).
+	Out []*Edge
+	// In are the visible calls of this function. Opaque edges never land
+	// here (their callee is unknown by definition).
+	In []*Edge
+	// Escaped records that the function is used as a value outside call
+	// position somewhere in the module, or called from package-level
+	// initialization: its call sites are not all visible, so hotness must
+	// not be inferred onto it and domination arguments do not apply.
+	Escaped bool
+	// Hot records that the function is on the hot path: annotated
+	// //lint:hotpath, or unexported, never escaped, and called only from
+	// hot functions of its own package (see computeHotSet).
+	Hot bool
+	// Annotated records an explicit //lint:hotpath directive.
+	Annotated bool
+}
+
+// Edge is one call site.
+type Edge struct {
+	Caller *Node
+	// Callee is nil for opaque edges: calls of function values, whose
+	// target set is unknown.
+	Callee *Node
+	// Site is the call expression.
+	Site *ast.CallExpr
+	// Stack is the ancestor chain of Site inside Caller's body (outermost
+	// first), for cold-path exemption tests.
+	Stack []ast.Node
+	// Dynamic marks interface-dispatch edges; Iface is then the interface
+	// method the call names, and one Edge exists per conservative
+	// implementation.
+	Dynamic bool
+	Iface   *types.Func
+}
+
+// CallGraph is the module-wide call graph: all declared functions and
+// methods, static callee-resolved edges, interface-dispatch edges resolved
+// conservatively (every module type whose method set satisfies the
+// interface contributes its method as a possible callee), and opaque edges
+// for calls of escaped function values.
+type CallGraph struct {
+	mod   *Module
+	Nodes map[*types.Func]*Node
+
+	// dispatch memoizes interface method -> conservative implementations.
+	dispatch map[*types.Func][]*Node
+	// named lists every defined (non-interface, non-alias) package-level
+	// type of the module, the candidate set for dispatch resolution.
+	named []*types.Named
+
+	allocFree map[*Node]bool
+}
+
+// NodeList returns the nodes sorted by position, for deterministic
+// iteration.
+func (g *CallGraph) NodeList() []*Node {
+	nodes := make([]*Node, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Fn.Pos() < nodes[j].Fn.Pos() })
+	return nodes
+}
+
+// buildCallGraph constructs the graph over every package of the module.
+func buildCallGraph(m *Module) *CallGraph {
+	g := &CallGraph{
+		mod:      m,
+		Nodes:    map[*types.Func]*Node{},
+		dispatch: map[*types.Func][]*Node{},
+	}
+
+	// Pass 1: nodes for every declared function and method with a body,
+	// and the defined-type universe for dispatch resolution.
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.Nodes[fn] = &Node{
+					Fn:        fn,
+					Decl:      fd,
+					Pkg:       pkg,
+					Annotated: hasDirective(fd.Doc, verbHotpath),
+				}
+			}
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			g.named = append(g.named, named)
+		}
+	}
+
+	// Pass 2: edges and escapes.
+	for _, pkg := range m.Pkgs {
+		g.addPackageEdges(pkg)
+	}
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			if e.Callee != nil {
+				e.Callee.In = append(e.Callee.In, e)
+			}
+		}
+	}
+	g.computeHotSet()
+	return g
+}
+
+// addPackageEdges walks one package's files, adding every call as an edge
+// of its enclosing function's node and marking escaped function values.
+func (g *CallGraph) addPackageEdges(pkg *Package) {
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		calleeIdents := map[*ast.Ident]bool{}
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isTypeConversion(info, call) {
+				return true
+			}
+			caller := g.enclosingNode(info, stack)
+			id := calleeIdent(call)
+			if id != nil {
+				switch obj := info.Uses[id].(type) {
+				case *types.Builtin:
+					return true
+				case *types.Func:
+					calleeIdents[id] = true
+					sig, ok := obj.Type().(*types.Signature)
+					if ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+						g.addDynamicEdges(caller, call, stack, obj)
+						return true
+					}
+					if callee, inModule := g.Nodes[obj]; inModule {
+						g.addEdge(caller, callee, call, stack, false, nil)
+					}
+					// Out-of-module static calls (standard library) carry no
+					// edge: the per-body scan handles the fmt special case,
+					// and external callees are outside lint's jurisdiction.
+					return true
+				}
+			}
+			// A call whose callee is not a resolvable function object: a
+			// function-value invocation. Its target set is unknown — record
+			// an opaque edge (immediately-invoked function literals excluded:
+			// their body is walked as part of the caller).
+			if _, isLit := ast.Unparen(call.Fun).(*ast.FuncLit); !isLit {
+				g.addEdge(caller, nil, call, stack, false, nil)
+			}
+			return true
+		})
+		// Any remaining use of a module function identifier is a function
+		// value escaping call position.
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || calleeIdents[id] {
+				return true
+			}
+			if fn, ok := info.Uses[id].(*types.Func); ok {
+				if node, ok := g.Nodes[fn]; ok {
+					node.Escaped = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// addEdge appends an edge, attributing calls outside any function
+// declaration (package-level initialization) as an escape of the callee.
+func (g *CallGraph) addEdge(caller *Node, callee *Node, call *ast.CallExpr, stack []ast.Node, dynamic bool, iface *types.Func) {
+	if caller == nil {
+		if callee != nil {
+			callee.Escaped = true
+		}
+		return
+	}
+	e := &Edge{
+		Caller:  caller,
+		Callee:  callee,
+		Site:    call,
+		Stack:   append([]ast.Node(nil), stack...),
+		Dynamic: dynamic,
+		Iface:   iface,
+	}
+	caller.Out = append(caller.Out, e)
+}
+
+// addDynamicEdges resolves an interface-method call conservatively: every
+// defined type of the module whose (pointer) method set satisfies the
+// method's interface contributes its concrete method as a possible callee.
+func (g *CallGraph) addDynamicEdges(caller *Node, call *ast.CallExpr, stack []ast.Node, m *types.Func) {
+	for _, impl := range g.implementations(m) {
+		g.addEdge(caller, impl, call, stack, true, m)
+	}
+}
+
+// implementations returns (memoized) the module-declared concrete methods
+// an interface method call could dispatch to.
+func (g *CallGraph) implementations(m *types.Func) []*Node {
+	if impls, ok := g.dispatch[m]; ok {
+		return impls
+	}
+	var impls []*Node
+	iface, _ := m.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+	if iface != nil {
+		for _, named := range g.named {
+			t := types.Type(named)
+			if !types.Implements(t, iface) {
+				t = types.NewPointer(named)
+				if !types.Implements(t, iface) {
+					continue
+				}
+			}
+			obj, _, _ := types.LookupFieldOrMethod(t, true, m.Pkg(), m.Name())
+			if fn, ok := obj.(*types.Func); ok {
+				if node, ok := g.Nodes[fn]; ok {
+					impls = append(impls, node)
+				}
+			}
+		}
+	}
+	sort.Slice(impls, func(i, j int) bool { return impls[i].Fn.Pos() < impls[j].Fn.Pos() })
+	g.dispatch[m] = impls
+	return impls
+}
+
+// enclosingNode finds the node of the function declaration a call sits in.
+func (g *CallGraph) enclosingNode(info *types.Info, stack []ast.Node) *Node {
+	fn := enclosingFuncDecl(info, stack)
+	if fn == nil {
+		return nil
+	}
+	return g.Nodes[fn]
+}
+
+// computeHotSet seeds hotness from //lint:hotpath annotations and
+// propagates it to dominated callees: unexported functions that never
+// escape and whose visible static same-package callers are all hot.
+// Exported functions are never inferred hot (external callers may be
+// cold); dynamic-dispatch edges never transmit hotness (the dispatch site
+// set is conservative, not exact).
+func (g *CallGraph) computeHotSet() {
+	for _, n := range g.Nodes {
+		n.Hot = n.Annotated
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if n.Hot || n.Escaped || ast.IsExported(n.Fn.Name()) {
+				continue
+			}
+			nonSelf, all := 0, true
+			for _, e := range n.In {
+				if e.Dynamic || e.Caller.Pkg != n.Pkg {
+					continue
+				}
+				if e.Caller == n {
+					continue
+				}
+				nonSelf++
+				if !e.Caller.Hot {
+					all = false
+				}
+			}
+			if nonSelf > 0 && all {
+				n.Hot = true
+				changed = true
+			}
+		}
+	}
+}
+
+// AllocFree reports whether a node is provably allocation-free on its warm
+// path: its body contains no non-exempt allocation candidate (per the
+// hotpathalloc rules, growth guards and cold sub-paths exempt), it makes no
+// opaque calls outside cold sub-paths, and every warm in-module call edge
+// leads to a node that is itself allocation-free or //lint:hotpath
+// annotated (annotated callees are enforced allocation-free by
+// hotpathalloc). Computed as a greatest fixpoint, so allocation-free call
+// cycles resolve to free.
+func (g *CallGraph) AllocFree(n *Node) bool {
+	if g.allocFree == nil {
+		g.computeAllocFree()
+	}
+	return g.allocFree[n]
+}
+
+func (g *CallGraph) computeAllocFree() {
+	free := map[*Node]bool{}
+	for _, n := range g.Nodes {
+		free[n] = !bodyHasAlloc(n.Pkg, n.Fn, n.Decl)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if !free[n] {
+				continue
+			}
+			for _, e := range n.Out {
+				if coldExempt(n.Pkg.Info, e.Site, e.Stack) {
+					continue
+				}
+				if e.Callee == nil {
+					// Opaque warm call: unknown target, assume it allocates.
+					free[n] = false
+					changed = true
+					break
+				}
+				if !e.Callee.Annotated && !free[e.Callee] {
+					free[n] = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	g.allocFree = free
+}

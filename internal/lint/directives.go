@@ -17,8 +17,13 @@ import (
 //	                                  (read by hotpathalloc from the doc
 //	                                  comment of a FuncDecl)
 //	//lint:keep <reason>            — marks a struct field as deliberately
-//	                                  surviving Reset (read by resetclean
-//	                                  from the field's doc or line comment)
+//	                                  surviving Reset or pooled reuse (read by
+//	                                  resetclean and scratchclean from the
+//	                                  field's doc or line comment)
+//	//lint:pooled                   — marks a struct as a pooled scratch space
+//	                                  whose component fields must be re-armed
+//	                                  on every reuse path (read by scratchclean
+//	                                  from the type's doc comment)
 //	//lint:ignore <checks> <reason> — suppresses diagnostics of the named
 //	                                  check(s) (comma-separated) reported on
 //	                                  the directive's line or the line
@@ -26,6 +31,7 @@ import (
 const (
 	verbHotpath = "hotpath"
 	verbKeep    = "keep"
+	verbPooled  = "pooled"
 	verbIgnore  = "ignore"
 )
 
@@ -101,7 +107,7 @@ func parseFileDirectives(fset *token.FileSet, f *ast.File) *fileDirectives {
 			}
 			pos := fset.Position(c.Pos())
 			switch verb {
-			case verbHotpath:
+			case verbHotpath, verbPooled:
 				// No arguments required; trailing commentary is allowed.
 			case verbKeep:
 				if args == "" {
@@ -113,7 +119,14 @@ func parseFileDirectives(fset *token.FileSet, f *ast.File) *fileDirectives {
 				}
 			case verbIgnore:
 				checks, reason, _ := strings.Cut(args, " ")
-				if checks == "" || strings.TrimSpace(reason) == "" {
+				list := strings.Split(checks, ",")
+				bad := strings.TrimSpace(reason) == ""
+				for _, c := range list {
+					if c == "" { // covers both empty checks and "a,,b"
+						bad = true
+					}
+				}
+				if bad {
 					d.malformed = append(d.malformed, Diagnostic{
 						Check:   "lint",
 						Pos:     pos,
@@ -122,7 +135,7 @@ func parseFileDirectives(fset *token.FileSet, f *ast.File) *fileDirectives {
 					continue
 				}
 				d.ignores = append(d.ignores, &ignoreDirective{
-					checks: strings.Split(checks, ","),
+					checks: list,
 					line:   pos.Line,
 					pos:    pos,
 				})
@@ -130,7 +143,7 @@ func parseFileDirectives(fset *token.FileSet, f *ast.File) *fileDirectives {
 				d.malformed = append(d.malformed, Diagnostic{
 					Check:   "lint",
 					Pos:     pos,
-					Message: "unknown directive //lint:" + verb + " (want hotpath, keep, or ignore)",
+					Message: "unknown directive //lint:" + verb + " (want hotpath, keep, pooled, or ignore)",
 				})
 			}
 		}

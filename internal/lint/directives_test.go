@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// validDirective re-derives, from the grammar alone, whether a directive
+// comment is well-formed. It is the oracle FuzzDirectives checks the parser
+// against.
+func validDirective(text string) bool {
+	verb, args, ok := parseDirective(text)
+	if !ok {
+		return true // not a directive at all: nothing to validate
+	}
+	switch verb {
+	case verbHotpath, verbPooled:
+		return true
+	case verbKeep:
+		return args != ""
+	case verbIgnore:
+		checks, reason, _ := strings.Cut(args, " ")
+		if strings.TrimSpace(reason) == "" {
+			return false
+		}
+		for _, c := range strings.Split(checks, ",") {
+			if c == "" {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// FuzzDirectives feeds arbitrary comment lines through directive parsing:
+// it must never panic, every malformed directive must surface as a "lint"
+// diagnostic, and every well-formed ignore must register a suppression.
+func FuzzDirectives(f *testing.F) {
+	// Seeds: each documented form, then each near-miss of the grammar.
+	for _, seed := range []string{
+		"//lint:hotpath",
+		"//lint:hotpath interpreter dispatch loop",
+		"//lint:keep freed regions keep their backing array",
+		"//lint:keep",
+		"//lint:pooled",
+		"//lint:pooled components re-armed in Acquire",
+		"//lint:ignore hotpathalloc growth happens off the steady state",
+		"//lint:ignore hotpathalloc,densemap cold slow path",
+		"//lint:ignore hotpathalloc",
+		"//lint:ignore",
+		"//lint:ignore ,, double comma",
+		"//lint:ignore  leading space",
+		"//lint:frobnicate",
+		"//lint:",
+		"// lint:ignore x y",
+		"//lint:ignore\ttab separated",
+		"//nolint:hotpathalloc",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		if strings.ContainsAny(line, "\n\r") {
+			t.Skip()
+		}
+		src := "package p\n\n" + line + "\nvar X int\n"
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Skip() // the line was not a comment; nothing to parse
+		}
+		d := parseFileDirectives(fset, file) // must not panic
+		var wantMalformed, wantIgnores int
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				verb, _, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				if !validDirective(c.Text) {
+					wantMalformed++
+				} else if verb == verbIgnore {
+					wantIgnores++
+				}
+			}
+		}
+		if len(d.malformed) != wantMalformed {
+			t.Errorf("line %q: %d malformed diagnostics, oracle wants %d", line, len(d.malformed), wantMalformed)
+		}
+		for _, diag := range d.malformed {
+			if diag.Check != "lint" {
+				t.Errorf("line %q: malformed diagnostic has check %q, want lint", line, diag.Check)
+			}
+			if diag.Pos.Line == 0 {
+				t.Errorf("line %q: malformed diagnostic has no position", line)
+			}
+		}
+		if len(d.ignores) != wantIgnores {
+			t.Errorf("line %q: %d ignores registered, oracle wants %d", line, len(d.ignores), wantIgnores)
+		}
+		for _, ig := range d.ignores {
+			if len(ig.checks) == 0 {
+				t.Errorf("line %q: ignore registered with no checks", line)
+			}
+			for _, c := range ig.checks {
+				if c == "" {
+					t.Errorf("line %q: ignore registered with an empty check name", line)
+				}
+			}
+		}
+	})
+}

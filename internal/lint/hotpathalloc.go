@@ -6,165 +6,58 @@ import (
 	"go/types"
 )
 
-// HotPathAlloc returns the hotpathalloc analyzer: inside functions annotated
-// //lint:hotpath — and transitively inside unexported same-package callees
-// that hot functions dominate (every in-package caller is hot and the
-// function is never used as a value) — it flags heap-allocating constructs:
-// map/slice literals, address-taken composite literals, un-hinted make and
-// non-reusing append, closures that capture variables, implicit conversions
-// of non-pointer values to interfaces, fmt calls, and string concatenation.
+// HotPathAlloc returns the hotpathalloc analyzer: inside functions on the
+// module-wide hot set — //lint:hotpath-annotated roots plus unexported
+// same-package callees that hot functions dominate (every visible caller is
+// hot and the function is never used as a value) — it flags heap-allocating
+// constructs: map/slice literals, address-taken composite literals,
+// un-hinted make and non-reusing append, closures that capture variables,
+// implicit conversions of non-pointer values to interfaces, fmt calls, and
+// string concatenation.
 //
-// Cold sub-paths are exempt: code guarded by a len/cap/nil condition (growth
-// and lazy-init), code inside or after a len/cap-guarded early return (pool
-// miss), and code on blocks that end by returning a non-nil error or
-// panicking.
+// Cold sub-paths are exempt: code guarded by a len/cap/nil condition
+// (growth and lazy-init), code inside or after a len/cap-guarded early
+// return (pool miss), code on blocks that end by returning a non-nil error
+// or panicking, switch cases whose switch or case expressions mention
+// len/cap/nil, and the copy-based reslice-grow idiom (g := make(...);
+// copy(g, old)).
+//
+// The hot set and per-body scan are shared with crosshot, which extends the
+// same discipline across package boundaries.
 func HotPathAlloc() *Analyzer {
 	a := &Analyzer{
 		Name: "hotpathalloc",
 		Doc:  "flag heap-allocating constructs in //lint:hotpath functions and dominated callees",
 	}
-	a.Run = func(pass *Pass) { runHotPathAlloc(pass) }
+	a.RunModule = func(pass *ModulePass) {
+		for _, n := range pass.Graph().NodeList() {
+			if n.Hot {
+				scanAllocs(n.Pkg, n.Fn, n.Decl, pass.Reportf)
+			}
+		}
+	}
 	return a
 }
 
-func runHotPathAlloc(pass *Pass) {
-	info := pass.Info
-	decls := map[*types.Func]*ast.FuncDecl{}
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
-				decls[fn] = fd
-			}
-		}
-	}
-
-	// Build the in-package call graph, tracking function values used outside
-	// call position (those can be invoked from anywhere, so they cannot be
-	// dominated) and calls made outside any function declaration.
-	callers := map[*types.Func]map[*types.Func]bool{}
-	escaped := map[*types.Func]bool{}
-	calleeIdents := map[*ast.Ident]bool{}
-	for _, f := range pass.Files {
-		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			id := calleeIdent(call)
-			if id == nil {
-				return true
-			}
-			callee, ok := info.Uses[id].(*types.Func)
-			if !ok {
-				return true
-			}
-			if _, inPkg := decls[callee]; !inPkg {
-				return true
-			}
-			calleeIdents[id] = true
-			caller := enclosingFuncDecl(info, stack)
-			if caller == nil {
-				escaped[callee] = true
-				return true
-			}
-			if callers[callee] == nil {
-				callers[callee] = map[*types.Func]bool{}
-			}
-			callers[callee][caller] = true
-			return true
-		})
-		ast.Inspect(f, func(n ast.Node) bool {
-			id, ok := n.(*ast.Ident)
-			if !ok || calleeIdents[id] {
-				return true
-			}
-			if fn, ok := info.Uses[id].(*types.Func); ok {
-				if _, inPkg := decls[fn]; inPkg {
-					escaped[fn] = true
-				}
-			}
-			return true
-		})
-	}
-
-	// Seed from annotations, then propagate hotness to dominated callees.
-	hot := map[*types.Func]bool{}
-	for fn, fd := range decls {
-		if hasDirective(fd.Doc, verbHotpath) {
-			hot[fn] = true
-		}
-	}
-	for changed := true; changed; {
-		changed = false
-		for fn, fd := range decls {
-			if hot[fn] || escaped[fn] || ast.IsExported(fd.Name.Name) {
-				continue
-			}
-			nonSelf, all := 0, true
-			for c := range callers[fn] {
-				if c == fn {
-					continue
-				}
-				nonSelf++
-				if !hot[c] {
-					all = false
-				}
-			}
-			if nonSelf > 0 && all {
-				hot[fn] = true
-				changed = true
-			}
-		}
-	}
-
-	for fn, fd := range decls {
-		if hot[fn] {
-			checkHotFunc(pass, fn, fd)
-		}
-	}
+// bodyHasAlloc probes whether a function body contains any non-exempt
+// allocation candidate — the body half of the call graph's allocation-free
+// fixpoint (call edges are judged separately).
+func bodyHasAlloc(pkg *Package, fn *types.Func, fd *ast.FuncDecl) bool {
+	found := false
+	scanAllocs(pkg, fn, fd, func(token.Pos, string, ...any) { found = true })
+	return found
 }
 
-// calleeIdent returns the identifier naming a call's callee (for plain and
-// selector calls), or nil.
-func calleeIdent(call *ast.CallExpr) *ast.Ident {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		return fun
-	case *ast.SelectorExpr:
-		return fun.Sel
-	case *ast.IndexExpr: // generic instantiation f[T](...)
-		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
-			return id
-		}
-	}
-	return nil
-}
-
-// enclosingFuncDecl finds the function declaration an AST node sits in.
-func enclosingFuncDecl(info *types.Info, stack []ast.Node) *types.Func {
-	for i := len(stack) - 1; i >= 0; i-- {
-		if fd, ok := stack[i].(*ast.FuncDecl); ok {
-			fn, _ := info.Defs[fd.Name].(*types.Func)
-			return fn
-		}
-	}
-	return nil
-}
-
-// checkHotFunc walks one hot function body reporting allocation candidates
+// scanAllocs walks one function body reporting each allocation candidate
 // that no cold-path exemption covers.
-func checkHotFunc(pass *Pass, fn *types.Func, fd *ast.FuncDecl) {
-	info := pass.Info
+func scanAllocs(pkg *Package, fn *types.Func, fd *ast.FuncDecl, reportf func(pos token.Pos, format string, args ...any)) {
+	info := pkg.Info
 	declSig := fn.Type().(*types.Signature)
 	selfAppends := map[*ast.CallExpr]bool{}
 
 	report := func(n ast.Node, stack []ast.Node, format string, args ...any) {
 		if !coldExempt(info, n, stack) {
-			pass.Reportf(n.Pos(), format, args...)
+			reportf(n.Pos(), format, args...)
 		}
 	}
 
@@ -189,9 +82,9 @@ func checkHotFunc(pass *Pass, fn *types.Func, fd *ast.FuncDecl) {
 				}
 			}
 		case *ast.CallExpr:
-			checkHotCall(pass, x, stack, selfAppends, report)
+			checkHotCall(info, x, stack, selfAppends, report)
 		case *ast.AssignStmt:
-			checkHotAssign(pass, x, stack, selfAppends, report)
+			checkHotAssign(info, x, stack, selfAppends, report)
 		case *ast.BinaryExpr:
 			if x.Op == token.ADD && isStringType(info.TypeOf(x)) {
 				report(x, stack, "string concatenation allocates on a hot path")
@@ -212,14 +105,14 @@ func checkHotFunc(pass *Pass, fn *types.Func, fd *ast.FuncDecl) {
 			}
 			if sig.Results().Len() == len(x.Results) {
 				for i, res := range x.Results {
-					checkIfaceConv(pass, res, sig.Results().At(i).Type(), stack)
+					checkIfaceConv(info, res, sig.Results().At(i).Type(), stack, report)
 				}
 			}
 		case *ast.ValueSpec:
 			if x.Type != nil {
 				if t := info.TypeOf(x.Type); t != nil {
 					for _, v := range x.Values {
-						checkIfaceConv(pass, v, t, stack)
+						checkIfaceConv(info, v, t, stack, report)
 					}
 				}
 			}
@@ -230,14 +123,15 @@ func checkHotFunc(pass *Pass, fn *types.Func, fd *ast.FuncDecl) {
 
 // checkHotCall handles the call-shaped candidates: make/new/append builtins,
 // fmt calls, and interface-boxing argument conversions.
-func checkHotCall(pass *Pass, call *ast.CallExpr, stack []ast.Node, selfAppends map[*ast.CallExpr]bool, report func(ast.Node, []ast.Node, string, ...any)) {
-	info := pass.Info
+func checkHotCall(info *types.Info, call *ast.CallExpr, stack []ast.Node, selfAppends map[*ast.CallExpr]bool, report func(ast.Node, []ast.Node, string, ...any)) {
 	if isTypeConversion(info, call) {
 		return
 	}
 	switch builtinName(info, call) {
 	case "make":
-		report(call, stack, "make on a hot path without a len/cap growth guard")
+		if !copyGrowExempt(info, call, stack) {
+			report(call, stack, "make on a hot path without a len/cap growth guard")
+		}
 		return
 	case "new":
 		report(call, stack, "new allocates on a hot path")
@@ -275,14 +169,13 @@ func checkHotCall(pass *Pass, call *ast.CallExpr, stack []ast.Node, selfAppends 
 		case i < params.Len():
 			pt = params.At(i).Type()
 		}
-		checkIfaceConvAt(pass, arg, pt, stack)
+		checkIfaceConvAt(info, arg, pt, stack, report)
 	}
 }
 
 // checkHotAssign records which appends reuse their destination and flags
 // string concatenation via += and interface-boxing plain assignments.
-func checkHotAssign(pass *Pass, as *ast.AssignStmt, stack []ast.Node, selfAppends map[*ast.CallExpr]bool, report func(ast.Node, []ast.Node, string, ...any)) {
-	info := pass.Info
+func checkHotAssign(info *types.Info, as *ast.AssignStmt, stack []ast.Node, selfAppends map[*ast.CallExpr]bool, report func(ast.Node, []ast.Node, string, ...any)) {
 	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 && isStringType(info.TypeOf(as.Lhs[0])) {
 		report(as, stack, "string concatenation allocates on a hot path")
 		return
@@ -300,7 +193,7 @@ func checkHotAssign(pass *Pass, as *ast.AssignStmt, stack []ast.Node, selfAppend
 				}
 			}
 			if as.Tok == token.ASSIGN {
-				checkIfaceConv(pass, rhs, info.TypeOf(as.Lhs[i]), stack)
+				checkIfaceConv(info, rhs, info.TypeOf(as.Lhs[i]), stack, report)
 			}
 		}
 	}
@@ -308,12 +201,11 @@ func checkHotAssign(pass *Pass, as *ast.AssignStmt, stack []ast.Node, selfAppend
 
 // checkIfaceConv flags implicit conversions of non-pointer concrete values
 // to interface types — each one boxes its operand on the heap.
-func checkIfaceConv(pass *Pass, expr ast.Expr, target types.Type, stack []ast.Node) {
-	checkIfaceConvAt(pass, expr, target, stack)
+func checkIfaceConv(info *types.Info, expr ast.Expr, target types.Type, stack []ast.Node, report func(ast.Node, []ast.Node, string, ...any)) {
+	checkIfaceConvAt(info, expr, target, stack, report)
 }
 
-func checkIfaceConvAt(pass *Pass, expr ast.Expr, target types.Type, stack []ast.Node) {
-	info := pass.Info
+func checkIfaceConvAt(info *types.Info, expr ast.Expr, target types.Type, stack []ast.Node, report func(ast.Node, []ast.Node, string, ...any)) {
 	if target == nil || !types.IsInterface(target) {
 		return
 	}
@@ -331,10 +223,7 @@ func checkIfaceConvAt(pass *Pass, expr ast.Expr, target types.Type, stack []ast.
 			return
 		}
 	}
-	if coldExempt(info, expr, stack) {
-		return
-	}
-	pass.Reportf(expr.Pos(), "conversion of non-pointer %s to interface %s boxes on a hot path", t, target)
+	report(expr, stack, "conversion of non-pointer %s to interface %s boxes on a hot path", t, target)
 }
 
 // isStringType reports whether t's underlying type is string.
@@ -372,9 +261,9 @@ func capturedVar(info *types.Info, lit *ast.FuncLit) string {
 }
 
 // coldExempt reports whether the candidate node sits on a cold sub-path of a
-// hot function: under a len/cap/nil-guarded branch, after a len/cap-guarded
-// early return, inside an error return, or in a block that unconditionally
-// ends by returning an error or panicking.
+// hot function: under a len/cap/nil-guarded branch or switch case, after a
+// len/cap-guarded early return, inside an error return, or in a block that
+// unconditionally ends by returning an error or panicking.
 func coldExempt(info *types.Info, n ast.Node, stack []ast.Node) bool {
 	childAt := func(i int) ast.Node {
 		if i+1 < len(stack) {
@@ -392,6 +281,23 @@ func coldExempt(info *types.Info, n ast.Node, stack []ast.Node) bool {
 			child := childAt(i)
 			if (child == ast.Node(a.Body) || child == a.Else) && ifGuardsLenCapNil(info, a) {
 				return true
+			}
+		case *ast.SwitchStmt:
+			// A switch whose init or tag involves len/cap/nil guards all of
+			// its cases (the multi-way growth dispatch: switch { case cap(x)
+			// < n: ... }); an individual case guarded the same way covers
+			// just that clause.
+			if a.Init != nil && mentionsLenCapNil(info, a.Init) {
+				return true
+			}
+			if a.Tag != nil && mentionsLenCapNil(info, a.Tag) {
+				return true
+			}
+		case *ast.CaseClause:
+			for _, e := range a.List {
+				if mentionsLenCapNil(info, e) {
+					return true
+				}
 			}
 		}
 		if stmts := blockStmts(stack[i]); len(stmts) > 0 {
@@ -412,6 +318,66 @@ func coldExempt(info *types.Info, n ast.Node, stack []ast.Node) bool {
 				}
 			}
 		}
+	}
+	return false
+}
+
+// copyGrowExempt recognizes the copy-based reslice-grow idiom even when no
+// enclosing len/cap guard is visible: the make's result is bound to a
+// variable, and a later statement of the same block copies the old contents
+// into it (grown := make([]T, n); copy(grown, old)). The copy proves the
+// make is a capacity-preserving reallocation — a growth event, not a
+// steady-state allocation.
+func copyGrowExempt(info *types.Info, call *ast.CallExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	as, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || ast.Unparen(as.Rhs[0]) != ast.Node(call) {
+		return false
+	}
+	dstIdent, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	var dst types.Object
+	if as.Tok == token.DEFINE {
+		dst = info.Defs[dstIdent]
+	} else {
+		dst = info.Uses[dstIdent]
+	}
+	if dst == nil {
+		return false
+	}
+	// Find the enclosing statement list and scan the statements after the
+	// assignment for copy(dst, ...).
+	for i := len(stack) - 2; i >= 0; i-- {
+		stmts := blockStmts(stack[i])
+		if stmts == nil {
+			continue
+		}
+		seen := false
+		for _, s := range stmts {
+			if ast.Node(s) == ast.Node(as) {
+				seen = true
+				continue
+			}
+			if !seen {
+				continue
+			}
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			cp, ok := es.X.(*ast.CallExpr)
+			if !ok || builtinName(info, cp) != "copy" || len(cp.Args) != 2 {
+				continue
+			}
+			if id, ok := ast.Unparen(cp.Args[0]).(*ast.Ident); ok && info.Uses[id] == dst {
+				return true
+			}
+		}
+		return false
 	}
 	return false
 }

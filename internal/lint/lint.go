@@ -13,12 +13,16 @@ import (
 	"sort"
 )
 
-// Analyzer is one named check. Run inspects a single package through its
-// Pass and reports findings; it must not retain the pass.
+// Analyzer is one named check. Per-package analyzers set Run, which
+// inspects a single package through its Pass; whole-module analyzers set
+// RunModule instead, which sees every loaded package and the shared call
+// graph through a ModulePass. Exactly one of the two should be set; neither
+// may retain its pass.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one package through one analyzer.
@@ -54,31 +58,37 @@ func (d Diagnostic) String(root string) string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", name, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
 }
 
-// Run applies every analyzer to every package, filters findings through the
-// //lint:ignore directives, appends malformed-directive diagnostics, and
-// returns the result sorted by file, line, column, check, and message.
+// Run applies every analyzer to the loaded packages — per-package
+// analyzers to each package, module analyzers to the whole set at once over
+// a shared call graph — filters findings through the //lint:ignore
+// directives, appends malformed-directive diagnostics, and returns the
+// result sorted by file, line, column, check, and message.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	mod := NewModule(pkgs)
+	dirs := map[string]*fileDirectives{}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		var dirs []*fileDirectives
 		for _, f := range pkg.Files {
 			fd := parseFileDirectives(pkg.Fset, f)
-			dirs = append(dirs, fd)
+			dirs[pkg.Fset.Position(f.Pos()).Filename] = fd
 			diags = append(diags, fd.malformed...)
 		}
-		var found []Diagnostic
-		for _, a := range analyzers {
-			pass := &Pass{
-				Package:  pkg,
-				analyzer: a,
-				report:   func(d Diagnostic) { found = append(found, d) },
+	}
+	var found []Diagnostic
+	report := func(d Diagnostic) { found = append(found, d) }
+	for _, a := range analyzers {
+		switch {
+		case a.RunModule != nil:
+			a.RunModule(&ModulePass{Module: mod, analyzer: a, report: report})
+		case a.Run != nil:
+			for _, pkg := range pkgs {
+				a.Run(&Pass{Package: pkg, analyzer: a, report: report})
 			}
-			a.Run(pass)
 		}
-		for _, d := range found {
-			if !suppressed(pkg, dirs, d) {
-				diags = append(diags, d)
-			}
+	}
+	for _, d := range found {
+		if !suppressed(dirs, d) {
+			diags = append(diags, d)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -101,16 +111,15 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 
 // suppressed reports whether an //lint:ignore directive in the diagnostic's
 // file covers it.
-func suppressed(pkg *Package, dirs []*fileDirectives, d Diagnostic) bool {
-	for i, f := range pkg.Files {
-		if pkg.Fset.Position(f.Pos()).Filename != d.Pos.Filename {
-			continue
-		}
-		for _, ig := range dirs[i].ignores {
-			if ig.suppresses(d.Check, d.Pos.Line) {
-				ig.used = true
-				return true
-			}
+func suppressed(dirs map[string]*fileDirectives, d Diagnostic) bool {
+	fd, ok := dirs[d.Pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, ig := range fd.ignores {
+		if ig.suppresses(d.Check, d.Pos.Line) {
+			ig.used = true
+			return true
 		}
 	}
 	return false

@@ -95,6 +95,21 @@ func TestResetCleanFixture(t *testing.T) {
 	checkWants(t, root, pkgs, Run(pkgs, []*Analyzer{ResetClean()}))
 }
 
+func TestCrossHotFixture(t *testing.T) {
+	root, pkgs := loadFixtures(t, "./crosshot/...")
+	checkWants(t, root, pkgs, Run(pkgs, []*Analyzer{CrossHot(CrossHotConfig{})}))
+}
+
+func TestScratchCleanFixture(t *testing.T) {
+	root, pkgs := loadFixtures(t, "./pooledpkg")
+	checkWants(t, root, pkgs, Run(pkgs, []*Analyzer{ScratchClean()}))
+}
+
+func TestEpochGuardFixture(t *testing.T) {
+	root, pkgs := loadFixtures(t, "./epochpkg")
+	checkWants(t, root, pkgs, Run(pkgs, []*Analyzer{EpochGuard()}))
+}
+
 func TestDenseMapFixture(t *testing.T) {
 	root, pkgs := loadFixtures(t, "./densepkg")
 	dm := DenseMap(DenseMapConfig{

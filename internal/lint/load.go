@@ -112,6 +112,9 @@ func (l *Loader) Load(patterns []string) ([]*Package, error) {
 			dirs[filepath.Join(l.Root, pat)] = true
 		}
 	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("lint: patterns %q match no packages under %s", patterns, l.Root)
+	}
 	var pkgs []*Package
 	for dir := range dirs {
 		pkg, err := l.loadDir(dir)
@@ -145,7 +148,7 @@ func (l *Loader) packageDirs(base string) ([]string, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("lint: walking %s: %w", base, err)
 	}
 	sort.Strings(dirs)
 	out := dirs[:0]
@@ -187,7 +190,7 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("lint: reading package directory: %w", err)
 	}
 	var files []*ast.File
 	for _, e := range entries {

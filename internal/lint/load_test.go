@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// brokenLoader returns a loader over the fixture tree without going through
+// loadFixtures, which treats load errors as fatal.
+func brokenLoader(t *testing.T) *Loader {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewLoader(root, "fix")
+}
+
+// TestLoadSyntaxError verifies a package that does not parse surfaces a
+// positioned error instead of panicking or loading zero findings.
+func TestLoadSyntaxError(t *testing.T) {
+	pkgs, err := brokenLoader(t).Load([]string{"./broken/badsyntax"})
+	if err == nil {
+		t.Fatalf("want error, got %d packages", len(pkgs))
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "parsing badsyntax.go") {
+		t.Errorf("error does not name the file: %v", err)
+	}
+	if !strings.Contains(msg, "badsyntax.go:4") {
+		t.Errorf("error carries no position: %v", err)
+	}
+}
+
+// TestLoadUnresolvableImport verifies an import of a package that does not
+// exist surfaces a positioned type-checking error.
+func TestLoadUnresolvableImport(t *testing.T) {
+	pkgs, err := brokenLoader(t).Load([]string{"./broken/badimport"})
+	if err == nil {
+		t.Fatalf("want error, got %d packages", len(pkgs))
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "type-checking fix/broken/badimport") {
+		t.Errorf("error does not name the package: %v", err)
+	}
+	if !strings.Contains(msg, "badimport.go:") {
+		t.Errorf("error carries no position: %v", err)
+	}
+}
+
+// TestLoadNoMatch verifies pattern sets that resolve to nothing are an
+// error: a lint run that silently checks zero packages would read as clean.
+func TestLoadNoMatch(t *testing.T) {
+	if _, err := brokenLoader(t).Load(nil); err == nil {
+		t.Error("empty pattern list: want error, got none")
+	} else if !strings.Contains(err.Error(), "match no packages") {
+		t.Errorf("empty pattern list: %v", err)
+	}
+	if _, err := brokenLoader(t).Load([]string{"./nosuchdir/..."}); err == nil {
+		t.Error("missing wildcard base: want error, got none")
+	}
+	if _, err := brokenLoader(t).Load([]string{"./nosuchdir"}); err == nil {
+		t.Error("missing package dir: want error, got none")
+	}
+}
+
+// TestLoadEmptyDir verifies a directory with no Go files is an error, not
+// an empty package.
+func TestLoadEmptyDir(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := NewLoader(dir, "empty").Load([]string{"."}); err == nil {
+		t.Error("want error for directory without Go files")
+	}
+}

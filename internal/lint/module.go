@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// Module is the whole loaded module under analysis: every package of one
+// Load call, sharing a single file set, plus lazily built whole-module facts
+// (the call graph, the module-wide hot set). Per-package analyzers see one
+// Package at a time through a Pass; module analyzers see the Module through
+// a ModulePass and can reason across package boundaries.
+type Module struct {
+	// Fset is the file set shared by every package.
+	Fset *token.FileSet
+	// Pkgs are the loaded packages, sorted by import path.
+	Pkgs []*Package
+
+	graph *CallGraph
+}
+
+// NewModule assembles a module view over packages loaded by one Loader.
+func NewModule(pkgs []*Package) *Module {
+	m := &Module{Pkgs: pkgs}
+	if len(pkgs) > 0 {
+		m.Fset = pkgs[0].Fset
+	} else {
+		m.Fset = token.NewFileSet()
+	}
+	return m
+}
+
+// Graph returns the module's call graph, building it on first use. The
+// graph is shared by every module analyzer of one Run, so interface
+// dispatch resolution and hot-set propagation happen once.
+func (m *Module) Graph() *CallGraph {
+	if m.graph == nil {
+		m.graph = buildCallGraph(m)
+	}
+	return m.graph
+}
+
+// ModulePass carries the whole module through one module analyzer.
+type ModulePass struct {
+	*Module
+	analyzer *Analyzer
+	report   func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Check:   p.analyzer.Name,
+		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}

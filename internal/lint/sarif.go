@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// SARIF serializes diagnostics as a SARIF 2.1.0 log — the interchange
+// format code-scanning UIs ingest. One run, one driver ("repro-lint"), one
+// rule per analyzer (plus the "lint" pseudo-rule carrying directive
+// validation), one result per diagnostic. File URIs are emitted relative to
+// root so the log is stable across checkouts.
+func SARIF(root string, analyzers []*Analyzer, diags []Diagnostic) ([]byte, error) {
+	type text struct {
+		Text string `json:"text"`
+	}
+	type rule struct {
+		ID               string `json:"id"`
+		ShortDescription text   `json:"shortDescription"`
+	}
+	type artifactLocation struct {
+		URI string `json:"uri"`
+	}
+	type region struct {
+		StartLine   int `json:"startLine"`
+		StartColumn int `json:"startColumn,omitempty"`
+	}
+	type physicalLocation struct {
+		ArtifactLocation artifactLocation `json:"artifactLocation"`
+		Region           region           `json:"region"`
+	}
+	type location struct {
+		PhysicalLocation physicalLocation `json:"physicalLocation"`
+	}
+	type result struct {
+		RuleID    string     `json:"ruleId"`
+		Level     string     `json:"level"`
+		Message   text       `json:"message"`
+		Locations []location `json:"locations"`
+	}
+	type driver struct {
+		Name  string `json:"name"`
+		Rules []rule `json:"rules"`
+	}
+	type tool struct {
+		Driver driver `json:"driver"`
+	}
+	type run struct {
+		Tool    tool     `json:"tool"`
+		Results []result `json:"results"`
+	}
+	type sarifLog struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []run  `json:"runs"`
+	}
+
+	rules := []rule{{
+		ID:               "lint",
+		ShortDescription: text{Text: "directive well-formedness (//lint: grammar)"},
+	}}
+	for _, a := range analyzers {
+		rules = append(rules, rule{ID: a.Name, ShortDescription: text{Text: a.Doc}})
+	}
+	results := []result{}
+	for _, d := range diags {
+		results = append(results, result{
+			RuleID:  d.Check,
+			Level:   "error",
+			Message: text{Text: d.Message},
+			Locations: []location{{PhysicalLocation: physicalLocation{
+				ArtifactLocation: artifactLocation{URI: relFile(root, d.Pos.Filename)},
+				Region:           region{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+	return json.MarshalIndent(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []run{{
+			Tool:    tool{Driver: driver{Name: "repro-lint", Rules: rules}},
+			Results: results,
+		}},
+	}, "", "  ")
+}
+
+// GHALine formats a diagnostic as a GitHub Actions problem-matcher command
+// (::error file=...) so CI log lines become pull-request annotations.
+func GHALine(root string, d Diagnostic) string {
+	var b strings.Builder
+	b.WriteString("::error file=")
+	b.WriteString(ghaEscapeProp(relFile(root, d.Pos.Filename)))
+	b.WriteString(",line=")
+	b.WriteString(strconv.Itoa(d.Pos.Line))
+	b.WriteString(",col=")
+	b.WriteString(strconv.Itoa(d.Pos.Column))
+	b.WriteString(",title=")
+	b.WriteString(ghaEscapeProp(d.Check))
+	b.WriteString("::")
+	b.WriteString(ghaEscapeData(d.Message))
+	return b.String()
+}
+
+// relFile renders a diagnostic file path relative to root when it sits
+// underneath it.
+func relFile(root, name string) string {
+	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(name)
+}
+
+// ghaEscapeData escapes the message payload of a workflow command.
+func ghaEscapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// ghaEscapeProp escapes a workflow command property value.
+func ghaEscapeProp(s string) string {
+	s = ghaEscapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
+}

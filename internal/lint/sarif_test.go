@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Check:   "hotpathalloc",
+			Pos:     token.Position{Filename: "/repo/internal/vm/vm.go", Line: 42, Column: 7},
+			Message: "make on a hot path without a len/cap growth guard",
+		},
+		{
+			Check:   "lint",
+			Pos:     token.Position{Filename: "/elsewhere/x.go", Line: 3, Column: 1},
+			Message: "oddities: 100% strange,\nmulti-line",
+		},
+	}
+}
+
+// TestSARIF pins the log shape a code-scanning upload needs: version, rule
+// ids (analyzers plus the lint pseudo-rule), and root-relative URIs with
+// positions.
+func TestSARIF(t *testing.T) {
+	data, err := SARIF("/repo", []*Analyzer{HotPathAlloc(), CrossHot(CrossHotConfig{})}, sampleDiags())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF does not round-trip: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	var ruleIDs []string
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs = append(ruleIDs, r.ID)
+	}
+	want := []string{"lint", "hotpathalloc", "crosshot"}
+	if len(ruleIDs) != len(want) {
+		t.Fatalf("rules = %v, want %v", ruleIDs, want)
+	}
+	for i := range want {
+		if ruleIDs[i] != want[i] {
+			t.Errorf("rule[%d] = %q, want %q", i, ruleIDs[i], want[i])
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	r0 := run.Results[0]
+	loc := r0.Locations[0].PhysicalLocation
+	if r0.RuleID != "hotpathalloc" || r0.Level != "error" {
+		t.Errorf("result 0 ruleId/level = %q/%q", r0.RuleID, r0.Level)
+	}
+	if loc.ArtifactLocation.URI != "internal/vm/vm.go" {
+		t.Errorf("uri = %q, want root-relative internal/vm/vm.go", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 42 || loc.Region.StartColumn != 7 {
+		t.Errorf("region = %d:%d, want 42:7", loc.Region.StartLine, loc.Region.StartColumn)
+	}
+	// A file outside the root keeps its absolute path.
+	if got := run.Results[1].Locations[0].PhysicalLocation.ArtifactLocation.URI; got != "/elsewhere/x.go" {
+		t.Errorf("outside-root uri = %q, want /elsewhere/x.go", got)
+	}
+}
+
+// TestGHALine pins the workflow-command format and its escaping.
+func TestGHALine(t *testing.T) {
+	diags := sampleDiags()
+	if got, want := GHALine("/repo", diags[0]),
+		"::error file=internal/vm/vm.go,line=42,col=7,title=hotpathalloc::make on a hot path without a len/cap growth guard"; got != want {
+		t.Errorf("gha line:\n got %q\nwant %q", got, want)
+	}
+	if got, want := GHALine("/repo", diags[1]),
+		"::error file=/elsewhere/x.go,line=3,col=1,title=lint::oddities: 100%25 strange,%0Amulti-line"; got != want {
+		t.Errorf("gha escaping:\n got %q\nwant %q", got, want)
+	}
+}

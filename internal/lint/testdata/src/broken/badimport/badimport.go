@@ -1,0 +1,6 @@
+// Package badimport is a load_test fixture: its import cannot resolve.
+package badimport
+
+import "fix/broken/nosuchpackage"
+
+var _ = nosuchpackage.X

@@ -1,0 +1,4 @@
+// Package badsyntax is a load_test fixture: it does not parse.
+package badsyntax
+
+func Oops( {

@@ -1,0 +1,70 @@
+// Package dep is the callee side of the crosshot fixture: exported
+// functions in each class a hot cross-package call can land in.
+package dep
+
+// Annotated is audited by hotpathalloc in its own package; hot callers may
+// use it freely.
+//
+//lint:hotpath fixture root
+func Annotated(x int) int { return x * 2 }
+
+// Free is not annotated but provably allocation-free: plain arithmetic.
+func Free(x int) int { return x + 1 }
+
+// FreeChain is allocation-free through a call chain ending in Free.
+func FreeChain(x int) int { return Free(x) * 3 }
+
+// Boxes allocates: it implicitly converts its argument to an interface.
+func Boxes(x int) any { return x }
+
+// Grows allocates only behind a growth guard, so it is allocation-free in
+// steady state.
+func Grows(buf []int, n int) []int {
+	if cap(buf) < n {
+		grown := make([]int, n)
+		copy(grown, buf)
+		buf = grown
+	}
+	return buf[:n]
+}
+
+// MakesMap allocates unconditionally.
+func MakesMap() map[string]int { return map[string]int{} }
+
+// CallsBoxes is clean-bodied but calls an allocating sibling, so it is not
+// allocation-free either.
+func CallsBoxes(x int) any { return Boxes(x) }
+
+// Mutual1 and Mutual2 form an allocation-free call cycle: the fixpoint must
+// resolve both to free rather than diverging or defaulting to allocating.
+func Mutual1(x int) int {
+	if x <= 0 {
+		return 0
+	}
+	return Mutual2(x - 1)
+}
+
+func Mutual2(x int) int {
+	if x <= 0 {
+		return 1
+	}
+	return Mutual1(x - 2)
+}
+
+// Doer is dispatched through by the hot caller fixture.
+type Doer interface {
+	Do(x int) int
+}
+
+// CleanDoer implements Doer without allocating.
+type CleanDoer struct{ n int }
+
+func (d *CleanDoer) Do(x int) int { return x + d.n }
+
+// DirtyDoer implements Doer and allocates in Do.
+type DirtyDoer struct{ sink []int }
+
+func (d *DirtyDoer) Do(x int) int {
+	d.sink = make([]int, x)
+	return len(d.sink)
+}

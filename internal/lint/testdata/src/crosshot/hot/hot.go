@@ -1,0 +1,37 @@
+// Package hot is the caller side of the crosshot fixture.
+package hot
+
+import "fix/crosshot/dep"
+
+// Drive is a hot root making every class of cross-package call.
+//
+//lint:hotpath fixture root
+func Drive(d dep.Doer, x int) int {
+	x = dep.Annotated(x)  // annotated: fine
+	x = dep.Free(x)       // provably allocation-free: fine
+	x = dep.FreeChain(x)  // allocation-free via call chain: fine
+	x = dep.Mutual1(x)    // allocation-free cycle: fine
+	_ = dep.Boxes(x)      // want "hot call into crosshot/dep.Boxes, which is neither //lint:hotpath nor provably allocation-free"
+	_ = dep.MakesMap()    // want "hot call into crosshot/dep.MakesMap, which is neither //lint:hotpath nor provably allocation-free"
+	_ = dep.CallsBoxes(x) // want "hot call into crosshot/dep.CallsBoxes, which is neither //lint:hotpath nor provably allocation-free"
+	return helper(d, x)
+}
+
+// helper is unexported and called only from Drive, so hotness propagates to
+// it and its cross-package calls are checked too.
+func helper(d dep.Doer, x int) int {
+	buf = dep.Grows(buf, x&15) // growth-guarded callee: fine
+	x = d.Do(x)                // want "hot call into crosshot/dep.DirtyDoer.Do .via Doer.Do dispatch., which is neither //lint:hotpath nor provably allocation-free"
+	_ = dep.Boxes(x)           //lint:ignore crosshot fixture: suppressed finding stays suppressed
+	if buf == nil {
+		// Cold sub-path: nil/len-style guards exempt the call site.
+		return len(dep.MakesMap())
+	}
+	return x
+}
+
+var buf []int
+
+// coldCaller is never called from a hot function, so nothing it does is
+// flagged.
+func coldCaller(x int) any { return dep.Boxes(x) }

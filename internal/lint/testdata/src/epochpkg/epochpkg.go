@@ -1,0 +1,89 @@
+// Package epochpkg exercises the epochguard analyzer: one well-behaved
+// epoch-guarded table, one that breaks each law.
+package epochpkg
+
+// cell is the stamped element of the well-behaved table.
+type cell struct {
+	id    int32
+	epoch uint32
+}
+
+// Table owns a dense table of cells invalidated by epoch bump.
+type Table struct {
+	cells []cell
+	epoch uint32
+}
+
+// Lookup guards the read: the stamp is compared before id is trusted.
+func (t *Table) Lookup(i int, id int32) bool {
+	c := t.cells[i]
+	if c.epoch != t.epoch {
+		return false
+	}
+	return c.id == id
+}
+
+// BadPeek trusts a cell field without checking its stamp, so it can observe
+// a value written before the last Reset.
+func (t *Table) BadPeek(i int) int32 {
+	return t.cells[i].id // want "read of epoch-guarded field cell.id without comparing cell.epoch against Table.epoch in this function"
+}
+
+// PeekEpoch reads only the stamp itself, which needs no guard.
+func (t *Table) PeekEpoch(i int) uint32 { return t.cells[i].epoch }
+
+// Insert stamps the cell from the owner's counter: fine.
+func (t *Table) Insert(i int, id int32) {
+	t.cells[i] = cell{id: id, epoch: t.epoch}
+}
+
+// Reset clears in O(1) by bumping the counter.
+func (t *Table) Reset() {
+	t.epoch++
+}
+
+// Nuke rewrites the whole table, defeating O(1) invalidation.
+func (t *Table) Nuke() {
+	clear(t.cells) // want "full clear of epoch-guarded table Table.cells; invalidate by bumping Table.epoch instead"
+	t.epoch++
+}
+
+// Wrap mirrors the epoch-wraparound clear — the one legitimate full rewrite,
+// carrying its reason.
+func (t *Table) Wrap() {
+	t.epoch++
+	if t.epoch == 0 {
+		clear(t.cells) //lint:ignore epochguard fixture: wraparound is the one sound full clear
+		t.epoch = 1
+	}
+}
+
+// bcell/BadTable break the idiom in every way the analyzer covers.
+type bcell struct {
+	val   uint64
+	epoch uint32
+}
+
+type BadTable struct {
+	cells []bcell
+	epoch uint32
+}
+
+// Reset rewrites every cell instead of bumping the counter: both the missing
+// bump and the rewrite loop are flagged.
+func (t *BadTable) Reset() { // want "must bump BadTable.epoch"
+	for i := range t.cells { // want "iterating epoch-guarded table BadTable.cells to rewrite cells; invalidate by bumping BadTable.epoch instead"
+		t.cells[i] = bcell{}
+	}
+}
+
+// Stamp writes a constant epoch: under wraparound a stale cell could later
+// read as live.
+func (t *BadTable) Stamp(i int) {
+	t.cells[i] = bcell{val: 1, epoch: 7} // want "cell bcell stamped with an epoch not read from BadTable.epoch"
+}
+
+// StampPositional does the same through a positional literal.
+func (t *BadTable) StampPositional(i int) {
+	t.cells[i] = bcell{2, 9} // want "cell bcell stamped with an epoch not read from BadTable.epoch"
+}

@@ -73,6 +73,42 @@ func Guarded(s *sink, n int) *sink {
 	return &sink{vals: make([]int, 1)} // after a len-guarded return: no finding
 }
 
+// SwitchGuarded demonstrates the switch-shaped growth guards: a case
+// expression, a switch tag, or a switch init mentioning len/cap/nil marks
+// the dispatch as growth handling.
+//
+//lint:hotpath
+func SwitchGuarded(s *sink, n int) {
+	switch {
+	case cap(s.vals) < n:
+		s.vals = make([]int, n) // case-guarded growth: no finding
+	case n == 0:
+		s.vals = make([]int, 1) // want "make on a hot path"
+	}
+	switch len(s.vals) {
+	case 0:
+		s.vals = make([]int, 8) // tag-guarded lazy init: no finding
+	}
+	switch c := cap(s.vals); {
+	case c < n:
+		s.vals = make([]int, n) // init-guarded growth: no finding
+	}
+}
+
+// CopyGrow demonstrates the copy-based reslice-grow idiom: the copy into
+// the fresh slice proves the make is a growth event even with no visible
+// len/cap guard.
+//
+//lint:hotpath
+func CopyGrow(s *sink, n int) {
+	grown := make([]int, n) // followed by copy(grown, ...): no finding
+	copy(grown, s.vals)
+	s.vals = grown
+	loose := make([]int, n) // want "make on a hot path"
+	copy(s.vals, loose)     // copies FROM it, not into it: still an allocation
+	_ = loose
+}
+
 // escaped is used as a value below, so domination can never be proven and
 // its allocation is not reported even though its only caller is hot.
 func escaped() []int { return make([]int, 4) }

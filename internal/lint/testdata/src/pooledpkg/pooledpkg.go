@@ -1,0 +1,41 @@
+// Package pooledpkg exercises the scratchclean analyzer: a pooled scratch
+// struct whose fields are re-armed through every shape the analyzer
+// recognizes, plus one that never is.
+package pooledpkg
+
+type comp struct{ n int }
+
+func (c *comp) Reset() { c.n = 0 }
+
+func (c *comp) Load(n int) { c.n = n }
+
+type table struct{ m map[int]int }
+
+func arm(t *table) { t.m = nil }
+
+// Scratch pools reusable components between runs.
+//
+//lint:pooled components re-armed in Acquire
+type Scratch struct {
+	direct  comp  // overwritten wholesale in Acquire
+	viaCall comp  // method call through the field selector
+	viaPtr  comp  // method call through a local bound to its address
+	viaStar comp  // deref overwrite through such a local
+	escapes table // address passed to an armer
+	stale   comp  // want "field stale of //lint:pooled struct Scratch is never re-armed"
+	legacy  comp  //lint:ignore scratchclean fixture: suppressed true positive stays suppressed
+	runs    int   //lint:keep run counter deliberately survives reuse
+}
+
+// Acquire is the reuse path: every live component is re-armed here.
+func Acquire(s *Scratch) *comp {
+	s.direct = comp{}
+	s.viaCall.Load(1)
+	p := &s.viaPtr
+	p.Reset()
+	q := &s.viaStar
+	*q = comp{}
+	arm(&s.escapes)
+	s.runs++
+	return p
+}

@@ -1,6 +1,7 @@
 #!/bin/sh
 # Full verification gate: tier-1 checks, the repo-invariant lint suite
-# (cmd/lint; see docs/LINTING.md), the race detector over the
+# (cmd/lint — per-package and whole-module call-graph analyzers; see
+# docs/LINTING.md), the race detector over the
 # concurrent sweep engine (including the zero-alloc shard guard, whose
 # cases cover net+comb/lei+comb), the distributed sweep service, the
 # harness that drives it (which exercises the adaptive meta-selector end
@@ -18,8 +19,8 @@
 # twice (catching order- or state-dependent divergence between the
 # dense production selectors and their frozen map-based references, the
 # pooled Combiner and the adaptive meta-selector included), and a short
-# fuzz pass over the selector, wire-codec, and trace-stream fuzz
-# targets.
+# fuzz pass over the selector, wire-codec, trace-stream, and lint
+# directive-grammar fuzz targets.
 #
 #   scripts/check.sh [fuzztime]
 #
@@ -37,7 +38,7 @@ go build ./...
 go vet ./...
 go test ./...
 
-echo "== lint: hotpathalloc, resetclean, densemap (docs/LINTING.md) =="
+echo "== lint: hotpathalloc, resetclean, densemap, crosshot, epochguard, scratchclean (docs/LINTING.md) =="
 go run ./cmd/lint ./...
 
 echo "== race detector: sweep engine + sweepnet + experiment harness + core round-trip =="
@@ -115,6 +116,8 @@ if [ "$fuzztime" != "0" ]; then
     go test -run '^$' -fuzz '^FuzzJobCodec$' -fuzztime "$fuzztime" ./internal/sweepnet/
     echo "== fuzz: FuzzStreamDecode ($fuzztime) =="
     go test -run '^$' -fuzz '^FuzzStreamDecode$' -fuzztime "$fuzztime" ./internal/tracestream/
+    echo "== fuzz: FuzzDirectives ($fuzztime) =="
+    go test -run '^$' -fuzz '^FuzzDirectives$' -fuzztime "$fuzztime" ./internal/lint/
 fi
 
 echo "check.sh: all checks passed"
