@@ -602,6 +602,55 @@ func BenchmarkCombine(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepMemo measures the record-once/replay-many memo layer end to
+// end on the grid shape it exists for — a threshold-search axis like
+// ROADMAP direction 1's closed-loop optimizer sweeps: many parameter
+// points over few cells, so every (workload, scale) recording is shared by
+// selectors × points jobs. memo=off interprets all of them live; memo=on
+// pays one recorded live run per cell (a fresh Runner per iteration keeps
+// that cost in the measurement) and replays the rest from the in-memory
+// corpus. The jobs/s ratio between the two sub-benchmarks is the
+// memoization speedup claimed in docs/PERFORMANCE.md — it grows with
+// jobs-per-cell and with the live/replay cost ratio of the workload
+// (interpretation-heavy cells like bzip2 and mcf replay ~4× cheaper;
+// selector-bound cells save less, since replay still runs the full
+// selector). Both numbers land in BENCH_pipeline.json via scripts/bench.sh
+// and regress through scripts/benchgate.
+func BenchmarkSweepMemo(b *testing.B) {
+	var cfgs []sweep.Config
+	for _, th := range []int{4, 6, 8, 12, 16, 24, 32, 40, 48, 56, 64, 80, 96, 112, 128, 160} {
+		p := core.DefaultParams()
+		p.NETThreshold = th
+		p.LEIThreshold = th
+		cfgs = append(cfgs, sweep.Config{Params: p})
+	}
+	grid := sweep.Grid{
+		Workloads: []string{"bzip2", "mcf"},
+		Scale:     benchScale,
+		Selectors: []string{sweep.NET, sweep.LEI},
+		Configs:   cfgs,
+	}
+	njobs := grid.NumJobs()
+	for _, mode := range []struct {
+		name string
+		m    sweep.MemoMode
+	}{{"off", sweep.MemoOff}, {"on", sweep.MemoOn}} {
+		b.Run("memo="+mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var sink sweep.CountingSink
+				r := sweep.NewRunner()
+				if err := r.RunGrid(context.Background(), grid, sweep.Options{Shards: 1, Memo: mode.m}, &sink); err != nil {
+					b.Fatal(err)
+				}
+				if sink.N != njobs {
+					b.Fatalf("delivered %d of %d jobs", sink.N, njobs)
+				}
+			}
+			b.ReportMetric(float64(njobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
 // BenchmarkReplay quantifies the record/replay decoupling
 // (internal/tracestream) in the configuration the sweep engine runs — one
 // pooled shard (scratch + Resettable selector) per job loop. "live" is the

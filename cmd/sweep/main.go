@@ -21,6 +21,13 @@
 // count or timing (see docs/SWEEPD.md). The exception is -shards, which
 // is a worker-side setting in remote mode: each sweepd picks its own
 // shard count (sweepd -shards), and setting -shards here warns.
+//
+// Grids memoize by default (docs/PERFORMANCE.md): the first job touching a
+// (workload, scale) cell records the VM's branch-event stream in memory and
+// every other job of the cell replays it, so multi-point parameter axes run
+// severalfold faster with byte-identical output. -memo=off forces every job
+// live; -v prints the memo hit/miss/evict/fallback counters to stderr. Like
+// -shards, -memo is a worker-side setting in remote mode (sweepd -memo).
 package main
 
 import (
@@ -49,6 +56,8 @@ func main() {
 	window := flag.Int("window", 0, "reorder-window size in jobs (0 = 4×shards)")
 	sinkName := flag.String("sink", "table", "output format: table, csv, jsonl, or none")
 	remote := flag.String("remote", "", "comma-separated sweepd worker addresses; empty = run in-process")
+	memo := flag.String("memo", "on", "record-once/replay-many trace memoization (on|off); output is byte-identical either way")
+	verbose := flag.Bool("v", false, "print run statistics (memo counters) to stderr")
 	list := flag.Bool("list", false, "list grid keys, workloads, and selectors, then exit")
 	flag.Parse()
 
@@ -57,6 +66,10 @@ func main() {
 		return
 	}
 	grid, err := parseGrid(*gridSpec)
+	if err != nil {
+		fail(err)
+	}
+	memoMode, err := sweep.ParseMemoMode(*memo)
 	if err != nil {
 		fail(err)
 	}
@@ -70,13 +83,22 @@ func main() {
 		if *shards != 0 {
 			fmt.Fprintln(os.Stderr, "sweep: warning: -shards has no effect with -remote; sharding is a worker-side setting (sweepd -shards)")
 		}
+		if memoMode != sweep.MemoOn {
+			fmt.Fprintln(os.Stderr, "sweep: warning: -memo has no effect with -remote; memoization is a worker-side setting (sweepd -memo)")
+		}
 		addrs := strings.Split(*remote, ",")
 		for i, a := range addrs {
 			addrs[i] = strings.TrimSpace(a)
 		}
 		err = sweepnet.RunGrid(ctx, addrs, grid, sweepnet.Options{Window: *window}, sink)
 	} else {
-		err = sweep.RunGrid(ctx, grid, sweep.Options{Shards: *shards, Window: *window}, sink)
+		runner := sweep.NewRunner()
+		err = runner.RunGrid(ctx, grid, sweep.Options{Shards: *shards, Window: *window, Memo: memoMode}, sink)
+		if *verbose {
+			st := runner.MemoStats()
+			fmt.Fprintf(os.Stderr, "sweep: memo hits=%d misses=%d fallbacks=%d evictions=%d rejected=%d resident=%d(%dB)\n",
+				st.Hits, st.Misses, st.Fallbacks, st.Evictions, st.Rejected, st.Resident, st.ResidentBytes)
+		}
 	}
 	flush()
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"repro/internal/sweep"
 	"repro/internal/sweepnet"
 )
 
@@ -28,7 +29,14 @@ func main() {
 	listen := flag.String("listen", ":7543", "TCP listen address (host:port; port 0 picks a free port)")
 	shards := flag.Int("shards", 0, "engine shards per range (0 = GOMAXPROCS)")
 	window := flag.Int("window", 0, "local reorder-window size in jobs (0 = engine default)")
+	memo := flag.String("memo", "on", "record-once/replay-many trace memoization (on|off); output is byte-identical either way")
+	memoBudget := flag.Int64("memobudget", 0, "resident memoized-corpus budget in bytes (0 = engine default)")
 	flag.Parse()
+	mode, err := sweep.ParseMemoMode(*memo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -41,10 +49,20 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	err = sweepnet.Serve(ctx, ln, sweepnet.ServerOptions{Shards: *shards, Window: *window})
+	runner := sweep.NewRunner()
+	err = sweepnet.Serve(ctx, ln, sweepnet.ServerOptions{
+		Shards:          *shards,
+		Window:          *window,
+		Memo:            mode,
+		MemoBudgetBytes: *memoBudget,
+		Runner:          runner,
+	})
 	if err != nil && ctx.Err() == nil {
 		fmt.Fprintln(os.Stderr, "sweepd:", err)
 		os.Exit(1)
 	}
+	st := runner.MemoStats()
+	fmt.Printf("sweepd: memo hits=%d misses=%d fallbacks=%d evictions=%d rejected=%d resident=%d(%dB)\n",
+		st.Hits, st.Misses, st.Fallbacks, st.Evictions, st.Rejected, st.Resident, st.ResidentBytes)
 	fmt.Println("sweepd: drained")
 }

@@ -1,0 +1,222 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// memoTestGrid is the differential grid for the memo layer: every
+// registered workload × all five selectors × a multi-point parameter axis,
+// so each (workload, scale) cell is shared by many jobs.
+func memoTestGrid(names []string) Grid {
+	var cfgs []Config
+	for _, th := range []int{8, 32, 64} {
+		p := core.DefaultParams()
+		p.LEIThreshold = th
+		cfgs = append(cfgs, Config{Params: p})
+	}
+	return Grid{
+		Workloads: names,
+		Scale:     testScale,
+		Selectors: append(PaperSelectors(), Adaptive),
+		Configs:   cfgs,
+	}
+}
+
+// memoJSON renders a report for comparison. JSON bytes, not
+// reflect.DeepEqual: the serialized form is what sinks emit, and it
+// distinguishes float artifacts (-0.0 vs 0.0) that == would hide.
+func memoJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// runMemoGrid executes g on a fresh runner and returns the collected
+// results plus the runner's memo counters.
+func runMemoGrid(t *testing.T, g Grid, opts Options) ([]Result, MemoStats) {
+	t.Helper()
+	r := NewRunner()
+	var sink CollectSink
+	if err := r.RunGrid(context.Background(), g, opts, &sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Results) != g.NumJobs() {
+		t.Fatalf("delivered %d results, want %d", len(sink.Results), g.NumJobs())
+	}
+	return sink.Results, r.MemoStats()
+}
+
+// diffMemoRuns fails on the first report that differs between the two runs.
+func diffMemoRuns(t *testing.T, off, on []Result) {
+	t.Helper()
+	for i := range off {
+		if got, want := memoJSON(t, on[i].Report), memoJSON(t, off[i].Report); got != want {
+			t.Fatalf("memoized report %d (%s under %s) diverges:\n memo-on  %s\n memo-off %s",
+				i, off[i].Job.Workload, off[i].Job.Selector, got, want)
+		}
+	}
+}
+
+// TestSweepMemoMatchesOff is the memo layer's acceptance differential:
+// across every registered workload under all five selectors on a 3-point
+// parameter axis, a memoized sweep must be byte-identical to a memo-off
+// one, with the replay path doing the bulk of the work.
+func TestSweepMemoMatchesOff(t *testing.T) {
+	g := memoTestGrid(workloads.Names())
+	off, offStats := runMemoGrid(t, g, Options{Shards: 3, Memo: MemoOff})
+	on, onStats := runMemoGrid(t, g, Options{Shards: 3, Memo: MemoOn})
+	diffMemoRuns(t, off, on)
+
+	if offStats != (MemoStats{}) {
+		t.Errorf("memo-off run touched the memo layer: %+v", offStats)
+	}
+	jobs := uint64(g.NumJobs())
+	if onStats.Hits+onStats.Misses != jobs {
+		t.Errorf("hits %d + misses %d != %d jobs", onStats.Hits, onStats.Misses, jobs)
+	}
+	if onStats.Hits == 0 {
+		t.Error("memoized run never replayed")
+	}
+	if cells := uint64(len(g.Workloads)); onStats.Misses < cells {
+		t.Errorf("misses %d below the %d distinct cells", onStats.Misses, cells)
+	}
+	if onStats.Resident != len(g.Workloads) {
+		t.Errorf("%d corpora resident, want %d", onStats.Resident, len(g.Workloads))
+	}
+}
+
+// TestSweepMemoConcurrentFirstTouch races many shards into one cold cell: a
+// single workload with enough (selector, config) jobs that every shard's
+// first pop hits the same unrecorded (workload, scale) key. Whoever wins
+// the claim records; the rest must fall back to live execution and still
+// produce byte-identical reports.
+func TestSweepMemoConcurrentFirstTouch(t *testing.T) {
+	var cfgs []Config
+	for _, th := range []int{4, 8, 16, 32, 64, 128} {
+		p := core.DefaultParams()
+		p.NETThreshold = th
+		cfgs = append(cfgs, Config{Params: p})
+	}
+	g := Grid{
+		Workloads: []string{"gzip"},
+		Scale:     testScale,
+		Selectors: append(PaperSelectors(), Adaptive),
+		Configs:   cfgs,
+	}
+	off, _ := runMemoGrid(t, g, Options{Shards: 1, Memo: MemoOff})
+	on, stats := runMemoGrid(t, g, Options{Shards: 8, Window: 2, Memo: MemoOn})
+	diffMemoRuns(t, off, on)
+	if stats.Hits+stats.Misses != uint64(g.NumJobs()) {
+		t.Errorf("hits %d + misses %d != %d jobs", stats.Hits, stats.Misses, g.NumJobs())
+	}
+}
+
+// TestSweepMemoBudgetEvictionFallback squeezes the corpus budget until it
+// misbehaves — first too small for the working set (forcing LRU eviction
+// and re-recording), then too small for any corpus at all (forcing
+// rejection and permanent live fallback) — and checks the output never
+// changes, only the counters.
+func TestSweepMemoBudgetEvictionFallback(t *testing.T) {
+	g := memoTestGrid([]string{"gzip", "vpr"})
+	off, _ := runMemoGrid(t, g, Options{Shards: 1, Memo: MemoOff})
+	_, full := runMemoGrid(t, g, Options{Shards: 1, Memo: MemoOn})
+	if full.Resident != 2 || full.ResidentBytes == 0 {
+		t.Fatalf("probe run: %d corpora / %d bytes resident, want both workloads", full.Resident, full.ResidentBytes)
+	}
+
+	// A budget one byte short of the working set holds either corpus but
+	// never both: admitting the second evicts the first.
+	on, st := runMemoGrid(t, g, Options{Shards: 1, Memo: MemoOn, MemoBudgetBytes: full.ResidentBytes - 1})
+	diffMemoRuns(t, off, on)
+	if st.Evictions == 0 {
+		t.Errorf("under-working-set budget evicted nothing: %+v", st)
+	}
+	if st.Hits == 0 {
+		t.Error("under-working-set budget never replayed")
+	}
+
+	// A one-byte budget rejects every corpus; the cells go dead and every
+	// later job falls back to live execution.
+	on, st = runMemoGrid(t, g, Options{Shards: 1, Memo: MemoOn, MemoBudgetBytes: 1})
+	diffMemoRuns(t, off, on)
+	if st.Rejected != 2 {
+		t.Errorf("Rejected = %d, want one per workload cell", st.Rejected)
+	}
+	if st.Hits != 0 || st.Resident != 0 {
+		t.Errorf("one-byte budget still replayed: %+v", st)
+	}
+	if want := uint64(g.NumJobs() - 2); st.Fallbacks != want {
+		t.Errorf("Fallbacks = %d, want %d (every job after each cell's rejected recording)", st.Fallbacks, want)
+	}
+}
+
+// TestRunnerMemoPersistsAcrossRuns pins the property sweepd relies on: the
+// memo table lives with the Runner, so a second run over the same grid
+// replays everything the first recorded — no new misses.
+func TestRunnerMemoPersistsAcrossRuns(t *testing.T) {
+	g := memoTestGrid([]string{"gzip"})
+	r := NewRunner()
+	for i := 0; i < 2; i++ {
+		if err := r.RunGrid(context.Background(), g, Options{Shards: 2}, &CollectSink{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.MemoStats()
+	if st.Misses != 1 {
+		t.Errorf("two runs missed %d times, want 1 (second run fully replayed)", st.Misses)
+	}
+	if want := uint64(2*g.NumJobs() - 1); st.Hits != want {
+		t.Errorf("Hits = %d, want %d", st.Hits, want)
+	}
+}
+
+// TestShardMemoAllocFree extends the engine's zero-alloc pin to the
+// memoized dispatch: once a cell's corpus is recorded, a memoized job — the
+// budget lookup plus the shard replay — performs no heap allocations.
+func TestShardMemoAllocFree(t *testing.T) {
+	m := newMemoTable(0)
+	shard := NewShard()
+	prog := workloads.MustGet("gzip").Build(testScale)
+	for _, selName := range PaperSelectors() { // adaptive pools separately
+		selName := selName
+		t.Run(selName, func(t *testing.T) {
+			job := Job{Workload: "gzip", Scale: testScale, Selector: selName, Params: core.DefaultParams()}
+			// First call records the cell; the second warms the pooled
+			// selector for this shape.
+			for i := 0; i < 2; i++ {
+				if _, err := m.run(shard, prog, job); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(5, func() {
+				if _, err := m.run(shard, prog, job); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state memoized job allocated %.1f times, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestParseMemoMode pins the CLI switch.
+func TestParseMemoMode(t *testing.T) {
+	if m, err := ParseMemoMode("on"); err != nil || m != MemoOn {
+		t.Errorf("ParseMemoMode(on) = %v, %v", m, err)
+	}
+	if m, err := ParseMemoMode("off"); err != nil || m != MemoOff {
+		t.Errorf("ParseMemoMode(off) = %v, %v", m, err)
+	}
+	if _, err := ParseMemoMode("maybe"); err == nil {
+		t.Error("ParseMemoMode(maybe) accepted")
+	}
+}

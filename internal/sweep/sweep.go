@@ -118,6 +118,16 @@ type Options struct {
 	// held for undelivered results is Window × sizeof(Result) regardless of
 	// grid size.
 	Window int
+	// Memo switches record-once/replay-many trace memoization (memo.go).
+	// The zero value is MemoOn: the first job touching a (workload, scale)
+	// cell runs live with a recorder tapped off the VM, every later job of
+	// the cell replays the recorded stream. Reports are byte-identical
+	// either way; only the execution strategy changes.
+	Memo MemoMode
+	// MemoBudgetBytes bounds resident memoized corpora; <=0 means
+	// DefaultMemoBudgetBytes. Cells whose corpus cannot fit degrade to
+	// live execution.
+	MemoBudgetBytes int64
 }
 
 // Shard is the per-worker execution state: one pooled dynopt.Scratch and a
@@ -159,21 +169,35 @@ func (s *Shard) selector(name string, params core.Params) (core.Selector, error)
 //
 //lint:hotpath steady-state shard job loop (TestShardSteadyStateAllocFree)
 func (s *Shard) Run(p *program.Program, job Job) (metrics.Report, error) {
+	rep, _, err := s.RunTapped(p, job, nil)
+	return rep, err
+}
+
+// RunTapped is Run with a copy of the VM's block-event stream fanned out to
+// tap (nil taps nothing — the VM feeds the simulator alone), returning the
+// run's vm.Stats alongside the report so a recording caller (the memo
+// layer, memo.go) can stamp the run totals into the captured stream's
+// header. The tap only observes; the report is identical with or without
+// one.
+//
+//lint:hotpath steady-state shard job loop (TestShardSteadyStateAllocFree)
+func (s *Shard) RunTapped(p *program.Program, job Job, tap vm.BlockSink) (metrics.Report, vm.Stats, error) {
 	sel, err := s.selector(job.Selector, job.Params)
 	if err != nil {
-		return metrics.Report{}, err
+		return metrics.Report{}, vm.Stats{}, err
 	}
 	res, err := dynopt.Run(p, dynopt.Config{
 		Selector:        sel,
 		VM:              vm.Config{},
 		CacheLimitBytes: job.CacheLimitBytes,
 		Scratch:         &s.scratch,
+		Tap:             tap,
 	})
 	if err != nil {
-		return metrics.Report{}, err
+		return metrics.Report{}, vm.Stats{}, err
 	}
 	res.Report.Workload = job.Workload
-	return res.Report, nil
+	return res.Report, res.VMStats, nil
 }
 
 // Replay executes one job against a decoded trace corpus instead of a live
@@ -267,6 +291,7 @@ type Runner struct {
 	mu     sync.Mutex
 	shards []*Shard
 	progs  progCache
+	memo   *memoTable
 }
 
 // NewRunner returns an empty runner; shards and programs are built on first
@@ -290,6 +315,31 @@ func (r *Runner) release(s *Shard) {
 	r.mu.Lock()
 	r.shards = append(r.shards, s)
 	r.mu.Unlock()
+}
+
+// ensureMemo returns the runner's memo table, creating it on first use. The
+// table — like the shard pool and program cache — lives as long as the
+// runner, so successive runs replay cells earlier runs recorded. The first
+// run to create the table fixes the corpus budget; later runs reuse it.
+func (r *Runner) ensureMemo(budgetBytes int64) *memoTable {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.memo == nil {
+		r.memo = newMemoTable(budgetBytes)
+	}
+	return r.memo
+}
+
+// MemoStats snapshots the runner's memoization counters (zero before any
+// memoized run).
+func (r *Runner) MemoStats() MemoStats {
+	r.mu.Lock()
+	m := r.memo
+	r.mu.Unlock()
+	if m == nil {
+		return MemoStats{}
+	}
+	return m.stats()
 }
 
 // jobSource is random access into a job enumeration; it lets the engine run
@@ -359,6 +409,7 @@ type engine struct {
 	src    jobSource
 	queues []*queue
 	runner *Runner
+	memo   *memoTable // nil when opts.Memo is MemoOff
 	del    *OrderedSink
 
 	mu   sync.Mutex
@@ -424,12 +475,17 @@ func (r *Runner) run(ctx context.Context, src jobSource, lo, hi int, opts Option
 	}
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	var memo *memoTable
+	if opts.Memo == MemoOn {
+		memo = r.ensureMemo(opts.MemoBudgetBytes)
+	}
 	e := &engine{
 		ctx:    runCtx,
 		cancel: cancel,
 		src:    src,
 		queues: make([]*queue, shards),
 		runner: r,
+		memo:   memo,
 		del:    NewOrderedSink(lo, window, sink),
 	}
 	// Partition the range into contiguous per-shard sub-ranges; work
@@ -528,9 +584,12 @@ func (e *engine) process(i int, shard *Shard) {
 		return
 	}
 	var rep metrics.Report
-	if run.corpus != nil {
+	switch {
+	case run.corpus != nil:
 		rep, err = shard.Replay(run.corpus, job)
-	} else {
+	case e.memo != nil:
+		rep, err = e.memo.run(shard, run.prog, job)
+	default:
 		rep, err = shard.Run(run.prog, job)
 	}
 	if err != nil {

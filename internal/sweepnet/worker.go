@@ -27,6 +27,20 @@ type ServerOptions struct {
 	// BatchResults is how many results accumulate before a frameResults
 	// flush. <=0 means 64.
 	BatchResults int
+	// Memo switches the local engine's record-once/replay-many trace
+	// memoization (default on — sweep.MemoOn is the zero value).
+	// Memoization only changes how the worker executes jobs, never their
+	// reports, so remote output stays byte-identical to a local run either
+	// way, and the memoized corpora persist across ranges and connections
+	// with the shared Runner.
+	Memo sweep.MemoMode
+	// MemoBudgetBytes bounds the worker's resident memoized corpora
+	// (<=0 means sweep.DefaultMemoBudgetBytes).
+	MemoBudgetBytes int64
+	// Runner, when non-nil, is the pooled execution state to serve with
+	// instead of a fresh one — cmd/sweepd passes its own so it can report
+	// memo counters after draining.
+	Runner *sweep.Runner
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -58,7 +72,10 @@ const batchBytes = 32 << 10
 // programs are built once and reused across connections and ranges.
 func Serve(ctx context.Context, ln net.Listener, opts ServerOptions) error {
 	opts = opts.withDefaults()
-	runner := sweep.NewRunner()
+	runner := opts.Runner
+	if runner == nil {
+		runner = sweep.NewRunner()
+	}
 	lnClosed := make(chan struct{})
 	go func() {
 		<-ctx.Done()
@@ -223,7 +240,12 @@ func (s *session) executor(sctx context.Context) {
 			return
 		}
 		stream := &resultStream{s: s}
-		err := s.runner.RunRange(sctx, grid, r.lo, r.hi, sweep.Options{Shards: s.opts.Shards, Window: s.opts.Window}, stream)
+		err := s.runner.RunRange(sctx, grid, r.lo, r.hi, sweep.Options{
+			Shards:          s.opts.Shards,
+			Window:          s.opts.Window,
+			Memo:            s.opts.Memo,
+			MemoBudgetBytes: s.opts.MemoBudgetBytes,
+		}, stream)
 		if err != nil {
 			if sctx.Err() != nil {
 				return // connection gone; the coordinator reassigns

@@ -5,16 +5,18 @@
 #   scripts/bench.sh [count] [bench-regex]
 #
 # count is the -count passed to `go test` (default 5). bench-regex
-# optionally restricts which benchmarks run (default: the nine recorded
-# ones). Nine benchmarks are recorded: BenchmarkPipeline (the full
+# optionally restricts which benchmarks run (default: the ten recorded
+# ones). Ten benchmarks are recorded: BenchmarkPipeline (the full
 # experiment matrix), BenchmarkPipelineLarge (the synthetic large-program
 # stress run), BenchmarkSweep (the sharded sweep engine at each shard
 # count), BenchmarkSweepRemote (the same grid through the wire protocol
 # and two loopback sweepd workers — the delta against BenchmarkSweep is
-# the distribution overhead), BenchmarkLEI (the pooled-scratch LEI
-# selection path), BenchmarkAdaptive (the adaptive meta-selector on the
-# phased workload — detector accounting plus policy switches),
-# BenchmarkCombine (the trace-combination selectors over
+# the distribution overhead), BenchmarkSweepMemo (record-once/replay-many
+# trace memoization on a 16-point threshold axis, memo=off vs memo=on —
+# the jobs/s ratio is the memoization speedup), BenchmarkLEI (the
+# pooled-scratch LEI selection path), BenchmarkAdaptive (the adaptive
+# meta-selector on the phased workload — detector accounting plus policy
+# switches), BenchmarkCombine (the trace-combination selectors over
 # the micro and synthetic workloads), BenchmarkAnalyze (the pooled
 # metrics analyzer), and BenchmarkReplay (trace record/replay: live VM
 # ns/instr vs stream-decode ns/event vs corpus-replay ns/instr — the
@@ -29,7 +31,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 count="${1:-5}"
-benchre="${2:-^(BenchmarkPipeline|BenchmarkPipelineLarge|BenchmarkSweep|BenchmarkSweepRemote|BenchmarkLEI|BenchmarkAdaptive|BenchmarkCombine|BenchmarkAnalyze|BenchmarkReplay)$}"
+benchre="${2:-^(BenchmarkPipeline|BenchmarkPipelineLarge|BenchmarkSweep|BenchmarkSweepRemote|BenchmarkSweepMemo|BenchmarkLEI|BenchmarkAdaptive|BenchmarkCombine|BenchmarkAnalyze|BenchmarkReplay)$}"
 out="BENCH_pipeline.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT

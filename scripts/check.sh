@@ -12,9 +12,13 @@
 # cmd/tracerec, a distributed smoke run (two loopback sweepd workers,
 # jsonl output diffed against the local run — docs/SWEEPD.md — so
 # remote adaptive and trace-replay runs must be byte-identical; worker
-# logs are dumped when the diff fails), a bench-regression gate
+# logs are dumped when the diff fails; the local run is additionally
+# diffed memo-on vs -memo=off, and workers memoize by default, so the
+# smoke pins the record-once/replay-many layer locally and end to end),
+# a bench-regression gate
 # comparing fresh BenchmarkPipeline/BenchmarkLEI/BenchmarkAdaptive/
-# BenchmarkCombine/BenchmarkSweep/BenchmarkReplay numbers against
+# BenchmarkCombine/BenchmarkSweep/BenchmarkSweepMemo/BenchmarkReplay
+# numbers against
 # BENCH_pipeline.json, the differential selector-equivalence suite run
 # twice (catching order- or state-dependent divergence between the
 # dense production selectors and their frozen map-based references, the
@@ -75,6 +79,13 @@ done
 addr1="$(sed -n 's/^sweepd: listening on //p' "$workdir/w1.log")"
 addr2="$(sed -n 's/^sweepd: listening on //p' "$workdir/w2.log")"
 "$workdir/sweep" -grid "$smokegrid" -sink jsonl >"$workdir/local.jsonl"
+# Memoization differential: the default local run above memoizes
+# (record-once/replay-many); forcing every job live must not change a byte.
+"$workdir/sweep" -grid "$smokegrid" -sink jsonl -memo=off >"$workdir/memooff.jsonl"
+diff "$workdir/local.jsonl" "$workdir/memooff.jsonl" || {
+    echo "check.sh: memoized sweep output differs from -memo=off run"
+    exit 1
+}
 "$workdir/sweep" -grid "$smokegrid" -sink jsonl -remote "$addr1,$addr2" >"$workdir/remote.jsonl"
 diff "$workdir/local.jsonl" "$workdir/remote.jsonl" || {
     echo "check.sh: distributed run output differs from local run"
@@ -92,10 +103,10 @@ w1pid=""; w2pid=""
 echo "distributed output byte-identical to local"
 
 if [ "${BENCH_GATE:-1}" != "0" ]; then
-    echo "== bench-regression gate: Pipeline + LEI + Adaptive + Combine + Sweep + Replay vs BENCH_pipeline.json =="
+    echo "== bench-regression gate: Pipeline + LEI + Adaptive + Combine + Sweep + SweepMemo + Replay vs BENCH_pipeline.json =="
     benchout="$workdir/bench.out"
     # No pipe: POSIX sh has no pipefail, a pipe would mask a go test failure.
-    go test -run '^$' -bench '^(BenchmarkPipeline|BenchmarkLEI|BenchmarkAdaptive|BenchmarkCombine|BenchmarkSweep|BenchmarkReplay)$' -benchmem -count=3 . >"$benchout"
+    go test -run '^$' -bench '^(BenchmarkPipeline|BenchmarkLEI|BenchmarkAdaptive|BenchmarkCombine|BenchmarkSweep|BenchmarkSweepMemo|BenchmarkReplay)$' -benchmem -count=3 . >"$benchout"
     cat "$benchout"
     go run ./scripts/benchgate -baseline BENCH_pipeline.json -tol "${BENCH_TOL:-0.25}" <"$benchout"
 fi
